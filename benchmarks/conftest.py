@@ -1,0 +1,27 @@
+"""Benchmark harness configuration.
+
+Every paper table and figure has one benchmark module here; running
+
+    pytest benchmarks/ --benchmark-only -s
+
+regenerates them all and prints the series next to the paper's reported
+shapes. ``--task-scale`` shrinks the Fig. 4 cluster simulations (task
+counts) for quick runs; the default reproduces Table 2's full task
+counts.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--task-scale",
+        action="store",
+        default="1.0",
+        help="Scale factor for Fig. 4 map-task counts (1.0 = Table 2 scale)",
+    )
+
+
+@pytest.fixture(scope="session")
+def task_scale(request) -> float:
+    return float(request.config.getoption("--task-scale"))

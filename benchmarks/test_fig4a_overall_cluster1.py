@@ -1,0 +1,36 @@
+"""Fig. 4a — end-to-end speedup over CPU-only Hadoop on Cluster1 (one K40
+per 20-core node), GPU-first vs tail scheduling, all eight benchmarks at
+Table 2 task counts.
+
+Paper shape: speedups ordered GR < HS < WC < HR < LR ≈ KM < CL < BS, up
+to 2.78× (BS), geometric mean 1.6×; tail ≥ GPU-first, with the largest
+tail win on BS and none on LR.
+"""
+
+from repro.experiments import figures, report
+
+
+def test_fig4a(benchmark, task_scale):
+    points = benchmark.pedantic(
+        figures.fig4a, kwargs={"task_scale": task_scale}, rounds=1, iterations=1
+    )
+    print("\n" + report.render_fig4(points, "Fig. 4a — Cluster1, 1 GPU/node"))
+
+    tail = {p.app: p.speedup for p in points if p.policy == "tail"}
+    gf = {p.app: p.speedup for p in points if p.policy == "gpu-first"}
+
+    # Every benchmark gains from the GPU (speedup >= ~1).
+    assert all(s >= 0.97 for s in tail.values())
+    # IO-intensive apps gain least; BS gains most (paper ordering).
+    assert tail["GR"] == min(tail.values())
+    assert tail["BS"] == max(tail.values())
+    assert tail["BS"] > 1.5
+    # Compute-intensive beat IO-intensive.
+    assert min(tail["KM"], tail["CL"]) > max(tail["GR"], tail["HS"])
+    # Tail scheduling never loses materially to GPU-first.
+    for app in tail:
+        assert tail[app] >= gf[app] * 0.97, f"tail regressed on {app}"
+    # Geometric mean in the paper's band (paper: 1.6x).
+    gm = figures.geometric_mean(tail.values())
+    print(f"geometric mean (tail): {gm:.2f}x  [paper: 1.6x]")
+    assert 1.15 <= gm <= 2.2

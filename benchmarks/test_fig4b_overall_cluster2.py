@@ -1,0 +1,40 @@
+"""Fig. 4b — multi-GPU scalability on Cluster2 (32 nodes, 4-core slots,
+1–3 M2090s per node, in-memory storage). KM is absent: its working set
+exceeds an M2090's 6 GB (paper: 'the memory requirement exceeds the
+capacity of Cluster2').
+
+Paper shape: speedups larger than Cluster1's (fewer CPU cores, no disk)
+and scaling with the number of GPUs per node.
+"""
+
+from collections import defaultdict
+
+from repro.experiments import figures, report
+
+
+def test_fig4b(benchmark, task_scale):
+    points = benchmark.pedantic(
+        figures.fig4b, kwargs={"task_scale": task_scale}, rounds=1, iterations=1
+    )
+    print("\n" + report.render_fig4(points, "Fig. 4b — Cluster2, 1-3 GPUs/node"))
+
+    # KM excluded (Table 2 NA + GPU memory floor).
+    assert not any(p.app == "KM" for p in points)
+    apps = {p.app for p in points}
+    assert apps == {"GR", "HS", "WC", "HR", "LR", "CL", "BS"}
+
+    by_app = defaultdict(dict)
+    for p in points:
+        if p.policy == "tail":
+            by_app[p.app][p.gpus_per_node] = p.speedup
+
+    # Execution time scales with GPUs per node (within wave-quantization
+    # noise: 3 GPUs never slower than 1).
+    for app, series in by_app.items():
+        assert series[3] >= series[1] * 0.95, f"{app} failed to scale"
+    # Cluster2 speedups exceed Cluster1's (paper §7.3's observation).
+    assert max(s for series in by_app.values() for s in series.values()) > 4.0
+    # The most compute-intensive app scales furthest.
+    assert max(by_app["BS"].values()) == max(
+        s for series in by_app.values() for s in series.values()
+    )

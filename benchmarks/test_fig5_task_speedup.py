@@ -1,0 +1,29 @@
+"""Fig. 5 — single GPU-task speedup over a CPU task on one core, with the
+translated-baseline code vs the full optimizer.
+
+Paper shape: ordered GR < HS < WC < HR < LR < KM < CL < BS (increasing
+compute intensity); up to 47× for BS; optimizations contribute
+substantially for GR, KM, CL, LR.
+"""
+
+from repro.experiments import figures, report
+
+PAPER_ORDER = ["GR", "HS", "WC", "HR", "LR", "KM", "CL", "BS"]
+
+
+def test_fig5(benchmark):
+    points = benchmark.pedantic(figures.fig5, rounds=1, iterations=1)
+    print("\n" + report.render_fig5(points))
+
+    speedups = {p.app: p.optimized_speedup for p in points}
+    # The paper's ordering by increasing speedup holds.
+    ordered = [speedups[a] for a in PAPER_ORDER]
+    assert ordered == sorted(ordered), f"ordering broken: {speedups}"
+    # BS is the ceiling (paper: 'as high as 47x for BS').
+    assert speedups["BS"] > 25
+    # IO-intensive tasks still beat one CPU core (paper §7.4: 'even for
+    # IO-intensive applications ... the GPU achieves speedups').
+    assert all(s > 1.0 for s in speedups.values())
+    # Optimizations never make a task slower.
+    for p in points:
+        assert p.optimized_speedup >= p.baseline_speedup * 0.99

@@ -1,0 +1,37 @@
+"""Fig. 6 — execution-time breakdown of one GPU task per benchmark.
+
+Paper shape: different stages bottleneck different benchmarks — BS is
+dominated by the output write (~62%, map-only HDFS write); WC by the
+sort (long string keys); KM and CL are map-heavy; HR and LR spend
+substantial time in combine; partition aggregation is negligible
+everywhere.
+"""
+
+from repro.experiments import figures, report
+
+
+def test_fig6(benchmark):
+    fractions = benchmark.pedantic(figures.fig6, rounds=1, iterations=1)
+    print("\n" + report.render_fig6(fractions))
+
+    # Aggregation negligible in all benchmarks (Fig. 6 note).
+    for app, frac in fractions.items():
+        assert frac["aggregate"] < 0.05, f"{app} aggregation not negligible"
+
+    # BS: output write is the top contributor (paper: 62%).
+    bs = fractions["BS"]
+    assert bs["output_write"] == max(bs.values())
+    assert bs["output_write"] > 0.3
+
+    # WC: sorting dominates the kernel stages (long keys).
+    wc = fractions["WC"]
+    assert wc["sort"] > wc["map"] and wc["sort"] > wc["combine"]
+
+    # KM / CL are map-heavy among kernel stages.
+    for app in ("KM", "CL"):
+        frac = fractions[app]
+        assert frac["map"] > frac["sort"] and frac["map"] > frac["combine"]
+
+    # HR and LR have a substantial combine share.
+    for app in ("HR", "LR"):
+        assert fractions[app]["combine"] > 0.03

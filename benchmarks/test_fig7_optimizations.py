@@ -1,0 +1,61 @@
+"""Fig. 7a–e — effect of each compiler/runtime optimization on the kernel
+it targets, ablated one at a time.
+
+Paper shapes: (a) texture memory ≈2× on KM/CL map kernels; (b) vectorized
+read/write up to 2.7× on combine kernels; (c) up to 1.7× on map kernels;
+(d) record stealing up to 1.36× on skewed-record map kernels; (e) KV
+aggregation before sort up to 7.6× on the sort kernel.
+"""
+
+from collections import defaultdict
+
+import pytest
+
+from repro.experiments import figures, report
+
+
+@pytest.fixture(scope="module")
+def fig7_points():
+    return figures.fig7()
+
+
+def test_fig7_full_report(benchmark, fig7_points):
+    points = benchmark.pedantic(lambda: fig7_points, rounds=1, iterations=1)
+    print("\n" + report.render_fig7(points))
+    assert len(points) >= 14
+
+
+class TestDirections:
+    def grouped(self, points):
+        groups = defaultdict(list)
+        for p in points:
+            groups[p.optimization].append(p)
+        return groups
+
+    def test_7a_texture(self, fig7_points):
+        pts = self.grouped(fig7_points)["use_texture"]
+        assert {p.app for p in pts} == {"KM", "CL"}
+        for p in pts:
+            assert p.speedup > 1.1  # paper: ~2x
+
+    def test_7b_vectorized_combine(self, fig7_points):
+        pts = self.grouped(fig7_points)["vectorize_combine"]
+        assert max(p.speedup for p in pts) > 1.5  # paper: up to 2.7x
+        assert all(p.speedup >= 0.99 for p in pts)
+
+    def test_7c_vectorized_map(self, fig7_points):
+        pts = self.grouped(fig7_points)["vectorize_map"]
+        assert max(p.speedup for p in pts) > 1.3  # paper: up to 1.7x
+        assert all(p.speedup >= 0.99 for p in pts)
+
+    def test_7d_record_stealing(self, fig7_points):
+        pts = self.grouped(fig7_points)["record_stealing"]
+        # Mechanism benchmark over increasing record-length skew.
+        assert all(p.speedup > 1.2 for p in pts)  # paper: up to 1.36x
+        by_label = {p.app: p.speedup for p in pts}
+        assert by_label["heavy-skew"] >= by_label["mild-skew"] * 0.95
+
+    def test_7e_kv_aggregation(self, fig7_points):
+        pts = self.grouped(fig7_points)["kv_aggregation"]
+        assert all(p.speedup > 3.0 for p in pts)  # paper: up to 7.6x
+        assert max(p.speedup for p in pts) > 7.0

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Wordcount end to end, three ways:
+
+1. the CPU-only Hadoop path (Streaming filters, the paper's baseline),
+2. the heterogeneous path (translated kernels on the simulated K40),
+3. a 48-node cluster simulation at Table 2 scale comparing CPU-only,
+   GPU-first, and tail scheduling.
+
+The functional outputs of (1) and (2) are verified identical — the
+combiner's §4.2 relaxation disappears after the reduce phase.
+
+Run:  python examples/wordcount_cluster.py
+"""
+
+from repro.apps import get_app
+from repro.config import CLUSTER1
+from repro.experiments.calibrate import single_task_times
+from repro.hadoop import ClusterSimulator, JobConf
+from repro.hadoop.local import LocalJobRunner
+from repro.scheduling import CpuOnlyPolicy, GpuFirstPolicy, TailPolicy
+
+
+def main() -> None:
+    app = get_app("WC")
+    text = app.generate(1200, seed=7)
+
+    # --- functional runs ---------------------------------------------------
+    print("Running the job on the CPU path (Hadoop Streaming)...")
+    cpu = LocalJobRunner(app, use_gpu=False, split_bytes=16 * 1024).run(text)
+    print(f"  {cpu.map_tasks} map tasks, {len(cpu.output)} distinct words")
+
+    print("Running the job on the GPU path (translated kernels)...")
+    gpu = LocalJobRunner(app, use_gpu=True, split_bytes=16 * 1024).run(text)
+    print(f"  {gpu.map_tasks} map tasks, {len(gpu.output)} distinct words")
+
+    assert cpu.output == gpu.output, "CPU and GPU paths must agree!"
+    print("  outputs identical (one source, two processors) ✓")
+
+    sample = sorted(gpu.output.items(), key=lambda kv: -kv[1])[:8]
+    print("  most frequent words:", sample)
+
+    # --- cluster-scale simulation ------------------------------------------
+    print("\nSimulating WC at Table 2 scale on Cluster1 "
+          "(48 nodes x 20 cores + 1 K40)...")
+    times = single_task_times(app, CLUSTER1)
+    cpu_s, gpu_s = times.scaled(60.0)
+    figures = app.figures_for("Cluster1")
+    job = JobConf(
+        name="wordcount",
+        num_map_tasks=figures.map_tasks,
+        num_reduce_tasks=figures.reduce_tasks,
+        cluster=CLUSTER1,
+        cpu_task_seconds=cpu_s,
+        gpu_task_seconds=gpu_s,
+    )
+    base = ClusterSimulator(job, CpuOnlyPolicy()).run()
+    gf = ClusterSimulator(job, GpuFirstPolicy()).run()
+    tail = ClusterSimulator(job, TailPolicy()).run()
+    print(f"  single-task GPU speedup  : {times.gpu_speedup:.1f}x")
+    print(f"  CPU-only Hadoop          : {base.job_seconds:7.1f} s")
+    print(f"  HeteroDoop (GPU-first)   : {gf.job_seconds:7.1f} s "
+          f"({base.job_seconds / gf.job_seconds:.2f}x)")
+    print(f"  HeteroDoop (tail sched)  : {tail.job_seconds:7.1f} s "
+          f"({base.job_seconds / tail.job_seconds:.2f}x)")
+    print(f"  GPU task share           : {gf.gpu_tasks}/"
+          f"{gf.gpu_tasks + gf.cpu_tasks}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""The eight evaluation benchmarks (paper Table 2).
+
+Six come from the PUMA suite (grep, wordcount, kmeans, classification,
+histmovies, histratings) and two are scientific applications
+(blackScholes, linear regression). Each ships:
+
+* directive-annotated mini-C map (and, where Table 2 says so, combine)
+  sources — single-source programs runnable on both the CPU path and,
+  after translation, the GPU simulator,
+* a seeded synthetic data generator shaped like the original input
+  (Zipf text, Netflix-style rating records, Gaussian point clouds,
+  option parameter tuples),
+* a pure-Python reference implementation (the oracle for tests).
+"""
+
+from .base import Application, AppRegistry, get_app, all_apps
+from . import (  # noqa: F401  (registration side effects)
+    grep,
+    wordcount,
+    histmovies,
+    histratings,
+    kmeans,
+    classification,
+    linear_regression,
+    blackscholes,
+)
+
+__all__ = ["Application", "AppRegistry", "get_app", "all_apps"]

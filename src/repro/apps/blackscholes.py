@@ -1,0 +1,107 @@
+"""BlackScholes (BS) — scientific application; the most compute-intensive
+benchmark (Table 2: 100% map time; Fig. 5: single-task speedup up to 47×).
+
+European call pricing with 128 iterations per option (paper §7.1),
+sweeping the volatility and averaging. Map-only: zero reduce tasks, so
+the output is written directly to HDFS — which is why Fig. 6 shows BS
+spending 62% of its GPU task in the output write.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from . import datagen
+from .base import Application, AppRegistry, ClusterFigures
+
+ITERATIONS = 128
+_SQRT2 = 1.4142135623730951
+
+MAP_SOURCE = r'''
+int main()
+{
+    char tok[32], *line;
+    size_t nbytes = 100000;
+    double s, k, t, r, v, d1, d2, price, sum, vol, sq;
+    int read, off, lp, id, i, field;
+    line = (char*) malloc(nbytes*sizeof(char));
+    #pragma mapreduce mapper key(id) value(price) kvpairs(2)
+    while( (read = getline(&line, &nbytes, stdin)) != -1) {
+        off = 0;
+        field = 0;
+        id = 0;
+        s = 0.0; k = 0.0; t = 0.0; r = 0.0; v = 0.0;
+        while( (lp = getWord(line, off, tok, read, 32)) != -1) {
+            off += lp;
+            if( field == 0 ) id = atoi(tok);
+            if( field == 1 ) s = atof(tok);
+            if( field == 2 ) k = atof(tok);
+            if( field == 3 ) t = atof(tok);
+            if( field == 4 ) r = atof(tok);
+            if( field == 5 ) v = atof(tok);
+            field++;
+        }
+        if( field >= 6 ) {
+            sum = 0.0;
+            for(i = 0; i < 128; i++) {
+                vol = v + 0.000001 * i;
+                sq = vol * sqrt(t);
+                d1 = (log(s/k) + (r + 0.5*vol*vol)*t) / sq;
+                d2 = d1 - sq;
+                price = s*0.5*(1.0+erf(d1/1.4142135623730951))
+                    - k*exp(-r*t)*0.5*(1.0+erf(d2/1.4142135623730951));
+                sum += price;
+            }
+            price = sum / 128.0;
+            printf("%d\t%f\n", id, price);
+        }
+    }
+    free(line);
+    return 0;
+}
+'''
+
+
+def price_option(s: float, k: float, t: float, r: float, v: float) -> float:
+    """Reference implementation of the map's 128-iteration pricing."""
+    total = 0.0
+    for i in range(ITERATIONS):
+        vol = v + 1e-6 * i
+        sq = vol * math.sqrt(t)
+        d1 = (math.log(s / k) + (r + 0.5 * vol * vol) * t) / sq
+        d2 = d1 - sq
+        call = s * 0.5 * (1.0 + math.erf(d1 / _SQRT2)) \
+            - k * math.exp(-r * t) * 0.5 * (1.0 + math.erf(d2 / _SQRT2))
+        total += call
+    return total / ITERATIONS
+
+
+def _reference(split_text: str) -> dict[Any, Any]:
+    prices: dict[int, float] = {}
+    for line in split_text.splitlines():
+        parts = line.split()
+        if len(parts) < 6:
+            continue
+        oid = int(parts[0])
+        s, k, t, r, v = (float(x) for x in parts[1:6])
+        prices[oid] = price_option(s, k, t, r, v)
+    return prices
+
+
+BLACKSCHOLES = AppRegistry.register(
+    Application(
+        name="blackscholes",
+        short="BS",
+        nature="Compute",
+        map_source=MAP_SOURCE,
+        combine_source=None,          # map-only job
+        reduce_py=None,
+        pct_map_combine_active=100,
+        cluster1=ClusterFigures(reduce_tasks=0, map_tasks=3600, input_gb=890),
+        cluster2=ClusterFigures(reduce_tasks=0, map_tasks=5120, input_gb=210),
+        generate=lambda records, seed: datagen.option_chain(records, seed),
+        reference=_reference,
+        record_skew=1.0,
+    )
+)

@@ -1,0 +1,85 @@
+"""Shared combiner sources.
+
+Most Table 2 apps with a combiner use sum-style aggregation over sorted
+KV streams; these templates mirror the paper's Listing 2 structure for
+string, int, and float key/value combinations.
+"""
+
+STRING_KEY_INT_SUM = r'''
+int main()
+{
+    char word[30], prevWord[30]; prevWord[0] = '\0';
+    int count, val, read; count = 0;
+    #pragma mapreduce combiner key(prevWord) value(count) \
+        keyin(word) valuein(val) keylength(30) vallength(4) \
+        firstprivate(prevWord, count)
+    {
+        while( (read = scanf("%s %d", word, &val)) == 2 ) {
+            if(strcmp(word, prevWord) == 0 ) {
+                count += val;
+            } else {
+                if(prevWord[0] != '\0')
+                    printf("%s\t%d\n", prevWord, count);
+                strcpy(prevWord, word);
+                count = val;
+            }
+        }
+        if(prevWord[0] != '\0')
+            printf("%s\t%d\n", prevWord, count);
+    }
+    return 0;
+}
+'''
+
+INT_KEY_INT_SUM = r'''
+int main()
+{
+    int prevKey, count, key, val, read, have;
+    prevKey = 0; count = 0; have = 0;
+    #pragma mapreduce combiner key(prevKey) value(count) \
+        keyin(key) valuein(val) firstprivate(prevKey, count, have)
+    {
+        while( (read = scanf("%d %d", &key, &val)) == 2 ) {
+            if(have && key == prevKey) {
+                count += val;
+            } else {
+                if(have)
+                    printf("%d\t%d\n", prevKey, count);
+                prevKey = key;
+                count = val;
+                have = 1;
+            }
+        }
+        if(have)
+            printf("%d\t%d\n", prevKey, count);
+    }
+    return 0;
+}
+'''
+
+INT_KEY_FLOAT_SUM = r'''
+int main()
+{
+    int prevKey, key, read, have;
+    double total, val;
+    prevKey = 0; total = 0.0; have = 0;
+    #pragma mapreduce combiner key(prevKey) value(total) \
+        keyin(key) valuein(val) firstprivate(prevKey, total, have)
+    {
+        while( (read = scanf("%d %f", &key, &val)) == 2 ) {
+            if(have && key == prevKey) {
+                total += val;
+            } else {
+                if(have)
+                    printf("%d\t%f\n", prevKey, total);
+                prevKey = key;
+                total = val;
+                have = 1;
+            }
+        }
+        if(have)
+            printf("%d\t%f\n", prevKey, total);
+    }
+    return 0;
+}
+'''

@@ -1,0 +1,204 @@
+"""Command-line interface.
+
+::
+
+    python -m repro translate mymap.c          # show the generated kernel
+    python -m repro run WC --records 800       # run a job on both paths
+    python -m repro simulate BS --policy tail  # cluster-scale simulation
+    python -m repro experiment fig5            # regenerate a paper figure
+    python -m repro apps                       # list the Table 2 benchmarks
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .apps import all_apps, get_app
+from .compiler import translate
+from .config import CLUSTER1, CLUSTER2, OptimizationFlags
+from .errors import ReproError
+from .minic import parse
+
+
+def _cmd_apps(_args: argparse.Namespace) -> int:
+    print(f"{'tag':4s} {'name':20s} {'nature':8s} {'combiner':9s} {'map-only'}")
+    for app in all_apps():
+        print(f"{app.short:4s} {app.name:20s} {app.nature:8s} "
+              f"{'yes' if app.has_combiner else 'no':9s} "
+              f"{'yes' if app.map_only else 'no'}")
+    return 0
+
+
+def _cmd_translate(args: argparse.Namespace) -> int:
+    if args.app:
+        source = get_app(args.app).map_source
+    else:
+        with open(args.file, "r", encoding="utf-8") as fh:
+            source = fh.read()
+    opt = OptimizationFlags.all_on() if args.optimize \
+        else OptimizationFlags.baseline()
+    result = translate(parse(source), opt=opt)
+    for kernel in result.kernels:
+        print(kernel.source_text)
+        print()
+        print("variable classification (Algorithm 1):")
+        for name, var in kernel.variables.items():
+            print(f"  {name:12s} {str(var.ctype):10s} -> {var.klass.value}")
+        print(f"vector width: {kernel.vector_width}, "
+              f"launch {kernel.launch.blocks}x{kernel.launch.threads}")
+        print()
+    if result.host_plan:
+        print(result.host_plan.describe())
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .hadoop.local import LocalJobRunner
+
+    app = get_app(args.app)
+    text = app.generate(args.records, seed=args.seed)
+    cluster = CLUSTER1 if args.cluster == 1 else CLUSTER2
+    runner = LocalJobRunner(
+        app, cluster=cluster, use_gpu=not args.cpu_only,
+        split_bytes=args.split_kb * 1024,
+    )
+    result = runner.run(text)
+    path = "CPU (Hadoop Streaming)" if args.cpu_only else "GPU (translated kernels)"
+    print(f"{app.name}: {result.map_tasks} map tasks on the {path} path")
+    print(f"map output pairs : {result.map_output_pairs}")
+    print(f"final keys       : {len(result.output)}")
+    if result.gpu_task_results:
+        total = sum(r.seconds for r in result.gpu_task_results)
+        print(f"simulated GPU map time: {total * 1e3:.3f} ms")
+    sample = list(result.output.items())[: args.show]
+    print(f"first {len(sample)} outputs: {sample}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .experiments.calibrate import single_task_times
+    from .hadoop import ClusterSimulator, JobConf
+    from .scheduling import CpuOnlyPolicy, GpuFirstPolicy, TailPolicy
+
+    app = get_app(args.app)
+    cluster = (CLUSTER1 if args.cluster == 1 else CLUSTER2)
+    cluster = cluster.with_gpus(args.gpus)
+    times = single_task_times(app, cluster)
+    cpu_s, gpu_s = times.scaled(60.0)
+    figures = app.figures_for(cluster.name)
+    job = JobConf(
+        name=app.short,
+        num_map_tasks=max(1, int(figures.map_tasks * args.task_scale)),
+        num_reduce_tasks=figures.reduce_tasks,
+        cluster=cluster,
+        cpu_task_seconds=cpu_s,
+        gpu_task_seconds=gpu_s,
+    )
+    policies = {
+        "cpu-only": CpuOnlyPolicy,
+        "gpu-first": GpuFirstPolicy,
+        "tail": TailPolicy,
+    }
+    base = ClusterSimulator(job, CpuOnlyPolicy()).run()
+    print(f"{app.short} on {cluster.name} ({args.gpus} GPU/node), "
+          f"{job.num_map_tasks} maps, single-task speedup "
+          f"{times.gpu_speedup:.1f}x")
+    for name in (args.policy,) if args.policy else ("cpu-only", "gpu-first", "tail"):
+        result = ClusterSimulator(job, policies[name]()).run()
+        print(f"  {name:10s}: {result.job_seconds:8.1f} s "
+              f"({base.job_seconds / result.job_seconds:.2f}x), "
+              f"gpu tasks {result.gpu_tasks}, forced {result.forced_gpu_tasks}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .experiments import figures, report, tables
+
+    name = args.name
+    if name == "table1":
+        print(report.render_table(tables.table1(), "Table 1"))
+    elif name == "table2":
+        print(report.render_table(tables.table2(), "Table 2"))
+    elif name == "table3":
+        print(report.render_table(tables.table3(), "Table 3"))
+    elif name == "fig3":
+        print(report.render_fig3(figures.fig3()))
+    elif name == "fig4a":
+        print(report.render_fig4(figures.fig4a(task_scale=args.task_scale),
+                                 "Fig. 4a"))
+    elif name == "fig4b":
+        print(report.render_fig4(figures.fig4b(task_scale=args.task_scale),
+                                 "Fig. 4b"))
+    elif name == "fig5":
+        print(report.render_fig5(figures.fig5()))
+    elif name == "fig6":
+        print(report.render_fig6(figures.fig6()))
+    elif name.startswith("fig7"):
+        sub = name[3:] if len(name) > 4 else None  # fig7a -> '7a'
+        print(report.render_fig7(figures.fig7(subfigure=sub)))
+    else:
+        raise ReproError(f"unknown experiment {name!r}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HeteroDoop reproduction (HPDC 2015)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("apps", help="list the Table 2 benchmarks") \
+        .set_defaults(func=_cmd_apps)
+
+    p = sub.add_parser("translate", help="translate a directive-annotated "
+                                         "mini-C source (or a benchmark's)")
+    group = p.add_mutually_exclusive_group(required=True)
+    group.add_argument("--file", help="path to a mini-C source file")
+    group.add_argument("--app", help="benchmark tag (e.g. WC)")
+    p.add_argument("--no-optimize", dest="optimize", action="store_false",
+                   help="show the baseline-translated kernel")
+    p.set_defaults(func=_cmd_translate)
+
+    p = sub.add_parser("run", help="run a benchmark job locally")
+    p.add_argument("app", help="benchmark tag (GR HS WC HR LR KM CL BS)")
+    p.add_argument("--records", type=int, default=400)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--cluster", type=int, choices=(1, 2), default=1)
+    p.add_argument("--cpu-only", action="store_true",
+                   help="use the Hadoop Streaming CPU path")
+    p.add_argument("--split-kb", type=int, default=32)
+    p.add_argument("--show", type=int, default=8)
+    p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser("simulate", help="cluster-scale job simulation")
+    p.add_argument("app")
+    p.add_argument("--cluster", type=int, choices=(1, 2), default=1)
+    p.add_argument("--gpus", type=int, default=1)
+    p.add_argument("--policy", choices=("cpu-only", "gpu-first", "tail"))
+    p.add_argument("--task-scale", type=float, default=1.0)
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p.add_argument("name", help="table1|table2|table3|fig3|fig4a|fig4b|"
+                                "fig5|fig6|fig7[a-e]")
+    p.add_argument("--task-scale", type=float, default=1.0)
+    p.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""The HeteroDoop source-to-source translator (paper §4).
+
+Input: a mini-C MapReduce program annotated with ``#pragma mapreduce``
+directives. Output: a :class:`~repro.compiler.translator.TranslationResult`
+holding GPU Kernel IR for the map (and optionally combine) phases plus the
+host driver plan — the reproduction's analogue of the generated CUDA file
+that ``nvcc`` would compile.
+
+The original source is left untouched: it remains the CPU executable
+(paper Fig. 2 — "single MapReduce source ... for both CPUs and GPUs").
+"""
+
+from .kernel_ir import KernelIR, VarClass, VarInfo
+from .translator import TranslationResult, translate
+from .host_codegen import HostPlan, HostStep
+
+__all__ = [
+    "KernelIR",
+    "VarClass",
+    "VarInfo",
+    "TranslationResult",
+    "translate",
+    "HostPlan",
+    "HostStep",
+]

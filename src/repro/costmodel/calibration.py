@@ -1,0 +1,73 @@
+"""Calibration record: paper target bands and their verification.
+
+The cost models' constants (``CPU_OPS_PER_SECOND``, GPU cycle charges,
+IO rates) were tuned so the *single-task* GPU/CPU speedups land in the
+bands the paper's Fig. 5 reports, with the paper's strict ordering by
+compute intensity. This module records those targets and provides
+:func:`verify_calibration`, used by the test suite to fail loudly if a
+model change silently breaks the reproduction's shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import CLUSTER1, ClusterConfig
+
+
+@dataclass(frozen=True)
+class CalibrationBand:
+    """Acceptable single-task speedup range for one benchmark."""
+
+    app: str
+    paper_value: float      # read off the paper's Fig. 5
+    low: float              # accepted band in this reproduction
+    high: float
+
+
+#: Fig. 5 targets. The paper's figure gives exact bars only for BS (47x,
+#: named in the text); the rest are read off the plot. Bands are wide —
+#: the reproduction promises ordering and magnitude, not bar heights.
+FIG5_BANDS: tuple[CalibrationBand, ...] = (
+    CalibrationBand("GR", 3.5, 1.05, 5.0),
+    CalibrationBand("HS", 3.7, 2.0, 8.0),
+    CalibrationBand("WC", 4.5, 3.0, 11.0),
+    CalibrationBand("HR", 7.0, 4.0, 15.0),
+    CalibrationBand("LR", 10.0, 7.0, 22.0),
+    CalibrationBand("KM", 13.0, 9.0, 26.0),
+    CalibrationBand("CL", 17.0, 12.0, 32.0),
+    CalibrationBand("BS", 47.0, 25.0, 60.0),
+)
+
+#: Fig. 4a headline: geometric-mean end-to-end speedup (paper: 1.6x).
+GEOMEAN_BAND = (1.15, 2.2)
+
+#: Paper's strict Fig. 5 ordering by increasing compute intensity.
+FIG5_ORDER = tuple(band.app for band in FIG5_BANDS)
+
+
+def measured_speedups(cluster: ClusterConfig = CLUSTER1) -> dict[str, float]:
+    """Current single-task speedups (cached functional simulation)."""
+    from ..experiments.calibrate import single_task_times
+
+    return {
+        band.app: single_task_times(band.app, cluster).gpu_speedup
+        for band in FIG5_BANDS
+    }
+
+
+def verify_calibration(cluster: ClusterConfig = CLUSTER1) -> list[str]:
+    """Returns a list of violations (empty = calibrated)."""
+    speedups = measured_speedups(cluster)
+    problems: list[str] = []
+    for band in FIG5_BANDS:
+        value = speedups[band.app]
+        if not band.low <= value <= band.high:
+            problems.append(
+                f"{band.app}: speedup {value:.2f} outside "
+                f"[{band.low}, {band.high}] (paper ~{band.paper_value})"
+            )
+    ordered = [speedups[a] for a in FIG5_ORDER]
+    if ordered != sorted(ordered):
+        problems.append(f"Fig. 5 ordering broken: {speedups}")
+    return problems

@@ -1,0 +1,64 @@
+"""IO timing: HDFS reads, local-disk writes, and shuffle transfers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import ClusterConfig
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class IoModel:
+    """Byte-rate based IO model for one cluster configuration.
+
+    Cluster2 has no disks (paper Table 3): its "disk" rate is RAM-backed
+    tmpfs speed, which is what makes its IO-intensive benchmarks less
+    IO-bound (paper §7.3's explanation for higher Cluster2 speedups).
+    """
+
+    disk_bw: float
+    network_bw: float
+    seek_latency_s: float = 1e-4
+    network_latency_s: float = 5e-5
+
+    @classmethod
+    def for_cluster(cls, cluster: ClusterConfig) -> "IoModel":
+        return cls(
+            disk_bw=cluster.disk_bw,
+            network_bw=cluster.network_bw,
+            seek_latency_s=1e-4 if cluster.has_disk else 1e-5,
+        )
+
+    def _check(self, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ConfigError(f"negative IO size {nbytes}")
+
+    def hdfs_read_s(self, nbytes: int, local: bool = True) -> float:
+        """Read a fileSplit: local-disk rate when data-local, network hop
+        otherwise (Hadoop schedules for locality, but misses happen)."""
+        self._check(nbytes)
+        t = self.seek_latency_s + nbytes / self.disk_bw
+        if not local:
+            t += self.network_latency_s + nbytes / self.network_bw
+        return t
+
+    def local_write_s(self, nbytes: int) -> float:
+        """Spill map+combine output to the task-local disk."""
+        self._check(nbytes)
+        return self.seek_latency_s + nbytes / self.disk_bw
+
+    def hdfs_write_s(self, nbytes: int, replication: int) -> float:
+        """Write job output to HDFS: one local write + pipelined copies."""
+        self._check(nbytes)
+        if replication < 1:
+            raise ConfigError("replication must be >= 1")
+        t = self.local_write_s(nbytes)
+        if replication > 1:
+            t += self.network_latency_s + nbytes / self.network_bw
+        return t
+
+    def shuffle_s(self, nbytes: int) -> float:
+        """Move one map output partition to its reduce task."""
+        self._check(nbytes)
+        return self.network_latency_s + nbytes / self.network_bw

@@ -1,0 +1,18 @@
+"""HeteroDoop directive parsing (paper §3, Table 1).
+
+A directive is a ``#pragma mapreduce`` line attached to the statement that
+follows it in the source — for a mapper, the record-iterating ``while``
+loop; for a combiner, the loop or a block containing it.
+"""
+
+from .clauses import CLAUSES, ClauseSpec, Directive, DirectiveKind
+from .parser import parse_directive, find_directives
+
+__all__ = [
+    "CLAUSES",
+    "ClauseSpec",
+    "Directive",
+    "DirectiveKind",
+    "parse_directive",
+    "find_directives",
+]

@@ -1,0 +1,128 @@
+"""Directive and clause catalogue — the machine-readable form of Table 1."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import DirectiveError
+
+
+class DirectiveKind(enum.Enum):
+    MAPPER = "mapper"
+    COMBINER = "combiner"
+
+
+class ArgKind(enum.Enum):
+    NONE = "none"            # bare clause, no arguments
+    VARIABLE = "variable"    # a single variable name
+    VARIABLE_LIST = "vars"   # one or more variable names
+    INTEGER = "integer"      # an integer literal or integer variable
+
+
+@dataclass(frozen=True)
+class ClauseSpec:
+    """Static description of one clause from Table 1."""
+
+    name: str
+    arg_kind: ArgKind
+    description: str
+    optional: bool
+    valid_on: frozenset[DirectiveKind] = frozenset(
+        {DirectiveKind.MAPPER, DirectiveKind.COMBINER}
+    )
+
+
+_BOTH = frozenset({DirectiveKind.MAPPER, DirectiveKind.COMBINER})
+_MAPPER = frozenset({DirectiveKind.MAPPER})
+_COMBINER = frozenset({DirectiveKind.COMBINER})
+
+#: Table 1, verbatim. ``mapper``/``combiner`` are the directive kinds
+#: themselves; the rest are clauses.
+CLAUSES: dict[str, ClauseSpec] = {
+    spec.name: spec
+    for spec in [
+        ClauseSpec("key", ArgKind.VARIABLE,
+                   "Variable that contains the key", optional=False),
+        ClauseSpec("value", ArgKind.VARIABLE,
+                   "Variable that contains the value", optional=False),
+        ClauseSpec("keyin", ArgKind.VARIABLE,
+                   "Variable that receives the incoming key",
+                   optional=False, valid_on=_COMBINER),
+        ClauseSpec("valuein", ArgKind.VARIABLE,
+                   "Variable that receives the incoming value",
+                   optional=False, valid_on=_COMBINER),
+        ClauseSpec("keylength", ArgKind.INTEGER,
+                   "Length of the emitted key", optional=False),
+        ClauseSpec("vallength", ArgKind.INTEGER,
+                   "Length of the emitted value", optional=False),
+        ClauseSpec("firstprivate", ArgKind.VARIABLE_LIST,
+                   "Variables initialized before the region", optional=False),
+        ClauseSpec("sharedRO", ArgKind.VARIABLE_LIST,
+                   "Read-only variables inside the region", optional=True),
+        ClauseSpec("texture", ArgKind.VARIABLE_LIST,
+                   "Read-only arrays placed in texture memory", optional=True),
+        ClauseSpec("kvpairs", ArgKind.INTEGER,
+                   "Maximum KV pairs emitted per record",
+                   optional=True, valid_on=_MAPPER),
+        ClauseSpec("blocks", ArgKind.INTEGER,
+                   "Number of threadblocks", optional=True),
+        ClauseSpec("threads", ArgKind.INTEGER,
+                   "Threads per threadblock", optional=True),
+    ]
+}
+
+#: keylength/vallength are required only when the key/value variable has no
+#: compiler-derivable type (paper §3.1). The directive validator enforces
+#: this contextually, so at parse time they are treated as optional.
+_CONTEXTUALLY_OPTIONAL = frozenset(["keylength", "vallength", "firstprivate"])
+
+
+@dataclass
+class Directive:
+    """A parsed ``#pragma mapreduce`` directive."""
+
+    kind: DirectiveKind
+    key: str | None = None
+    value: str | None = None
+    keyin: str | None = None
+    valuein: str | None = None
+    keylength: int | str | None = None
+    vallength: int | str | None = None
+    firstprivate: list[str] = field(default_factory=list)
+    shared_ro: list[str] = field(default_factory=list)
+    texture: list[str] = field(default_factory=list)
+    kvpairs: int | str | None = None
+    blocks: int | str | None = None
+    threads: int | str | None = None
+    line: int = 0
+
+    def validate(self) -> None:
+        """Structural validation (types/scope checks happen in the compiler)."""
+        if self.key is None:
+            raise DirectiveError(f"{self.kind.value} directive requires key(...)")
+        if self.value is None:
+            raise DirectiveError(f"{self.kind.value} directive requires value(...)")
+        if self.kind is DirectiveKind.COMBINER:
+            if self.keyin is None or self.valuein is None:
+                raise DirectiveError(
+                    "combiner directive requires keyin(...) and valuein(...)"
+                )
+            if self.kvpairs is not None:
+                raise DirectiveError("kvpairs is only valid on the mapper")
+        else:
+            if self.keyin is not None or self.valuein is not None:
+                raise DirectiveError("keyin/valuein are only valid on the combiner")
+        overlap = set(self.shared_ro) & set(self.firstprivate)
+        if overlap:
+            raise DirectiveError(
+                f"variables cannot be both sharedRO and firstprivate: {sorted(overlap)}"
+            )
+
+    @property
+    def is_mapper(self) -> bool:
+        return self.kind is DirectiveKind.MAPPER
+
+    @property
+    def is_combiner(self) -> bool:
+        return self.kind is DirectiveKind.COMBINER

@@ -1,0 +1,134 @@
+"""Parser for ``#pragma mapreduce`` directive text."""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import DirectiveError
+from ..minic import cast as A
+from .clauses import CLAUSES, ArgKind, Directive, DirectiveKind
+
+_CLAUSE_RE = re.compile(r"([A-Za-z_][A-Za-z0-9_]*)\s*(?:\(([^)]*)\))?")
+
+
+def _int_or_name(text: str, clause: str) -> int | str:
+    text = text.strip()
+    if re.fullmatch(r"[+-]?\d+", text):
+        value = int(text)
+        if value <= 0:
+            raise DirectiveError(f"{clause}({value}): argument must be positive")
+        return value
+    if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", text):
+        return text
+    raise DirectiveError(f"bad argument {text!r} for clause {clause!r}")
+
+
+def _name(text: str, clause: str) -> str:
+    text = text.strip()
+    if not re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", text):
+        raise DirectiveError(f"clause {clause!r} needs a variable name, got {text!r}")
+    return text
+
+
+def _name_list(text: str, clause: str) -> list[str]:
+    names = [t.strip() for t in text.split(",") if t.strip()]
+    if not names:
+        raise DirectiveError(f"clause {clause!r} needs at least one variable")
+    return [_name(n, clause) for n in names]
+
+
+def parse_directive(text: str, line: int = 0) -> Directive:
+    """Parse one logical ``#pragma mapreduce ...`` line into a Directive."""
+    body = text.strip()
+    if body.startswith("#pragma"):
+        body = body[len("#pragma"):].strip()
+    if not body.startswith("mapreduce"):
+        raise DirectiveError(f"not a mapreduce pragma: {text!r}")
+    body = body[len("mapreduce"):].strip()
+
+    matches = list(_CLAUSE_RE.finditer(body))
+    if not matches:
+        raise DirectiveError("empty mapreduce directive")
+
+    kind_name = matches[0].group(1)
+    if matches[0].group(2) is not None:
+        raise DirectiveError(f"directive kind {kind_name!r} takes no arguments")
+    try:
+        kind = DirectiveKind(kind_name)
+    except ValueError:
+        raise DirectiveError(
+            f"unknown directive {kind_name!r}; expected mapper or combiner"
+        ) from None
+
+    directive = Directive(kind=kind, line=line)
+    seen: set[str] = set()
+    # Verify nothing but clause syntax exists between matches.
+    covered = matches[0].end()
+    for m in matches[1:]:
+        gap = body[covered:m.start()].strip()
+        if gap:
+            raise DirectiveError(f"unexpected text {gap!r} in directive")
+        covered = m.end()
+        clause_name, arg_text = m.group(1), m.group(2)
+        spec = CLAUSES.get(clause_name)
+        if spec is None:
+            raise DirectiveError(f"unknown clause {clause_name!r}")
+        if kind not in spec.valid_on:
+            raise DirectiveError(
+                f"clause {clause_name!r} is not valid on a {kind.value}"
+            )
+        if clause_name in seen:
+            raise DirectiveError(f"duplicate clause {clause_name!r}")
+        seen.add(clause_name)
+        if spec.arg_kind is not ArgKind.NONE and arg_text is None:
+            raise DirectiveError(f"clause {clause_name!r} requires arguments")
+
+        if clause_name == "key":
+            directive.key = _name(arg_text, clause_name)
+        elif clause_name == "value":
+            directive.value = _name(arg_text, clause_name)
+        elif clause_name == "keyin":
+            directive.keyin = _name(arg_text, clause_name)
+        elif clause_name == "valuein":
+            directive.valuein = _name(arg_text, clause_name)
+        elif clause_name == "keylength":
+            directive.keylength = _int_or_name(arg_text, clause_name)
+        elif clause_name == "vallength":
+            directive.vallength = _int_or_name(arg_text, clause_name)
+        elif clause_name == "firstprivate":
+            directive.firstprivate = _name_list(arg_text, clause_name)
+        elif clause_name == "sharedRO":
+            directive.shared_ro = _name_list(arg_text, clause_name)
+        elif clause_name == "texture":
+            directive.texture = _name_list(arg_text, clause_name)
+        elif clause_name == "kvpairs":
+            directive.kvpairs = _int_or_name(arg_text, clause_name)
+        elif clause_name == "blocks":
+            directive.blocks = _int_or_name(arg_text, clause_name)
+        elif clause_name == "threads":
+            directive.threads = _int_or_name(arg_text, clause_name)
+
+    tail = body[covered:].strip()
+    if tail:
+        raise DirectiveError(f"unexpected trailing text {tail!r} in directive")
+
+    directive.validate()
+    return directive
+
+
+def find_directives(program: A.Program) -> list[tuple[Directive, A.Stmt, A.FunctionDef]]:
+    """Locate every mapreduce directive in a program.
+
+    Returns (directive, annotated statement, enclosing function) triples in
+    source order. Non-mapreduce pragmas are ignored.
+    """
+    found: list[tuple[Directive, A.Stmt, A.FunctionDef]] = []
+    for func in program.functions:
+        for node in func.body.walk():
+            if isinstance(node, A.Stmt) and node.pragma is not None:
+                text = node.pragma.text
+                if "mapreduce" not in text.split():
+                    continue
+                directive = parse_directive(text, line=node.pragma.line)
+                found.append((directive, node, func))
+    return found

@@ -1,0 +1,19 @@
+"""Experiment harness: regenerates every table and figure in the paper's
+evaluation (§7). See DESIGN.md §4 for the experiment index.
+
+Layers:
+
+* :mod:`repro.experiments.calibrate` — measures single-task CPU/GPU times
+  per application via the functional simulators (the Fig. 5/6 substrate)
+  and scales them for the cluster simulator.
+* :mod:`repro.experiments.figures` — Fig. 3 (tail-scheduling idea),
+  Fig. 4a/4b (end-to-end speedups), Fig. 5 (single-task speedups),
+  Fig. 6 (GPU-task breakdown), Fig. 7a–e (optimization ablations).
+* :mod:`repro.experiments.tables` — Tables 1–3.
+* :mod:`repro.experiments.report` — plain-text rendering of results.
+"""
+
+from .calibrate import TaskTimes, single_task_times
+from . import figures, tables, report
+
+__all__ = ["TaskTimes", "single_task_times", "figures", "tables", "report"]

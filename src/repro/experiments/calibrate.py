@@ -1,0 +1,174 @@
+"""Single-task measurement: one fileSplit through the CPU path and the
+GPU pipeline, timed by the respective models.
+
+These measurements are the substrate for Fig. 5 (task speedups), Fig. 6
+(GPU breakdown), Fig. 7 (ablations), and — scaled to realistic task
+lengths — the per-task durations driving the Fig. 4 cluster simulations.
+
+Scaling note: simulation splits are laptop-sized (hundreds of records,
+not 256 MB), but every modelled cost is linear in split size (records,
+bytes, KV pairs; sort is n·log n, a mild correction), so CPU/GPU *ratios*
+are scale-invariant. For the cluster simulator we rescale both sides so
+the CPU task lasts ``target_cpu_seconds`` (a realistic Hadoop map-task
+length), preserving the ratio exactly.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Any
+
+from ..apps.base import Application
+from ..apps import get_app
+from ..config import CLUSTER1, CLUSTER2, ClusterConfig, OptimizationFlags
+from ..costmodel.cpu import CpuTaskModel, CpuTaskTiming
+from ..costmodel.io import IoModel
+from ..errors import ConfigError
+from ..gpu.device import GpuDevice
+from ..hadoop.local import parse_kv_line, _sort_key
+from ..kvstore import Partitioner
+from ..runtime.gpu_task import GpuTaskBreakdown, GpuTaskRunner
+
+#: Default records per calibration split, per app (BS interprets 128
+#: pricing iterations per record, so fewer records suffice).
+DEFAULT_RECORDS = {
+    "GR": 500, "WC": 400, "HS": 400, "HR": 400,
+    "KM": 250, "CL": 300, "LR": 300, "BS": 120,
+}
+
+
+@dataclass
+class TaskTimes:
+    """Single-task timing for one (app, cluster, optimization) point."""
+
+    app: str
+    cluster: str
+    cpu_seconds: float
+    gpu_seconds: float
+    cpu_timing: CpuTaskTiming
+    gpu_breakdown: GpuTaskBreakdown
+    map_output_pairs: int = 0
+    output_bytes: int = 0
+    records: int = 0
+
+    @property
+    def gpu_speedup(self) -> float:
+        """GPU task speedup over a single-core CPU task (Fig. 5's metric)."""
+        if self.gpu_seconds <= 0:
+            raise ConfigError("GPU task time is zero")
+        return self.cpu_seconds / self.gpu_seconds
+
+    def scaled(self, target_cpu_seconds: float = 60.0) -> tuple[float, float]:
+        """(cpu_s, gpu_s) rescaled so the CPU task lasts the target."""
+        factor = target_cpu_seconds / self.cpu_seconds
+        return target_cpu_seconds, self.gpu_seconds * factor
+
+
+def _cluster_by_name(name: str) -> ClusterConfig:
+    if name == "Cluster1":
+        return CLUSTER1
+    if name == "Cluster2":
+        return CLUSTER2
+    raise ConfigError(f"unknown cluster {name!r}")
+
+
+def _cpu_task(app: Application, cluster: ClusterConfig, split: bytes,
+              reducers: int) -> tuple[CpuTaskTiming, int, int]:
+    """Run the split through the Hadoop Streaming CPU path; returns
+    (timing, map_kv_pairs, output_bytes)."""
+    io = IoModel.for_cluster(cluster)
+    model = CpuTaskModel(cluster.cpu, io)
+    text = split.decode("utf-8")
+    map_out, map_counters = app.cpu_map(text)
+    pairs = [parse_kv_line(ln) for ln in map_out.splitlines() if ln]
+
+    partitioner = Partitioner(max(reducers, 1))
+    parts: dict[int, list[tuple[Any, Any]]] = defaultdict(list)
+    for k, v in pairs:
+        parts[partitioner.partition(k)].append((k, v))
+
+    combine_counters = None
+    output_pairs: list[tuple[Any, Any]] = []
+    for _part, kvs in sorted(parts.items()):
+        kvs.sort(key=lambda kv: _sort_key(kv[0]))
+        if app.has_combiner:
+            text_in = "".join(f"{k}\t{v}\n" for k, v in kvs)
+            out, counters = app.cpu_combine(text_in)
+            combine_counters = counters if combine_counters is None \
+                else combine_counters.merged(counters)
+            output_pairs.extend(parse_kv_line(ln) for ln in out.splitlines() if ln)
+        else:
+            output_pairs.extend(kvs)
+
+    output_bytes = sum(len(f"{k}\t{v}\n".encode()) for k, v in output_pairs)
+    key_len = app.translate_map().map_kernel.key_length
+    timing = model.task_timing(
+        split_bytes=len(split),
+        map_counters=map_counters,
+        map_kv_pairs=len(pairs),
+        key_length=key_len,
+        combine_counters=combine_counters,
+        output_bytes=output_bytes,
+        map_only=app.map_only,
+        replication=cluster.hdfs_replication,
+    )
+    return timing, len(pairs), output_bytes
+
+
+@lru_cache(maxsize=256)
+def _single_task_times_cached(
+    app_short: str, cluster_name: str, opt_key: tuple[bool, ...],
+    records: int, seed: int,
+) -> TaskTimes:
+    app = get_app(app_short)
+    cluster = _cluster_by_name(cluster_name)
+    opt = OptimizationFlags(*opt_key)
+    split = app.generate(records, seed).encode("utf-8")
+    figures = app.cluster1 if cluster_name == "Cluster1" else app.cluster2
+    reducers = figures.reduce_tasks if figures is not None else 1
+
+    cpu_timing, map_pairs, output_bytes = _cpu_task(app, cluster, split, reducers)
+
+    device = GpuDevice(cluster.gpu)
+    runner = GpuTaskRunner(
+        app.translate_map(opt),
+        app.translate_combine(opt),
+        device,
+        IoModel.for_cluster(cluster),
+        num_reducers=reducers,
+        replication=cluster.hdfs_replication,
+        min_gpu_mem=app.min_gpu_mem,
+    )
+    gpu_result = runner.run(split)
+
+    return TaskTimes(
+        app=app_short,
+        cluster=cluster_name,
+        cpu_seconds=cpu_timing.total,
+        gpu_seconds=gpu_result.seconds,
+        cpu_timing=cpu_timing,
+        gpu_breakdown=gpu_result.breakdown,
+        map_output_pairs=map_pairs,
+        output_bytes=output_bytes,
+        records=records,
+    )
+
+
+def single_task_times(
+    app: Application | str,
+    cluster: ClusterConfig = CLUSTER1,
+    opt: OptimizationFlags | None = None,
+    records: int | None = None,
+    seed: int = 7,
+) -> TaskTimes:
+    """Measure one map(+combine) task on both processors (cached)."""
+    short = app if isinstance(app, str) else app.short
+    opt = opt if opt is not None else OptimizationFlags.all_on()
+    records = records if records is not None else DEFAULT_RECORDS.get(short, 300)
+    opt_key = (
+        opt.use_texture, opt.vectorize_map, opt.vectorize_combine,
+        opt.record_stealing, opt.kv_aggregation,
+    )
+    return _single_task_times_cached(short, cluster.name, opt_key, records, seed)

@@ -1,0 +1,730 @@
+"""Functional + timed execution of translated kernels (paper §4.1–4.2).
+
+Map kernels: records are split statically across threadblocks; within a
+block, threads either take a static round-robin share or *steal* records
+from the block's pool through a shared-memory atomic counter (paper's
+record stealing). Every active thread interprets the translated region
+with GPU-runtime builtins (``getRecord``/``emitKV``), emitting into its
+portion of the global KV store, while per-lane charges accumulate into
+warp costs for the timing model.
+
+Combine kernels: each warp redundantly executes the combiner over a
+contiguous chunk of a sorted partition (``getKV``/``storeKV``), trading
+exact CPU-combiner equivalence for parallelism exactly as §4.2 sanctions —
+chunk-boundary keys yield partial aggregates that the reducer repairs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..compiler.kernel_ir import KernelIR, VarClass, VarInfo
+from ..errors import CRuntimeError, GpuError, KVStoreOverflow
+from ..kvstore import GlobalKVStore, KVPair, Partitioner
+from ..minic import cast as A
+from ..minic import ctypes as T
+from ..minic.interpreter import ExecCounters, Interpreter
+from ..minic.stdlib import host_builtins
+from ..minic.values import Buffer, Cell, NULL, Ptr, ScalarRef
+from .device import GpuDevice
+from .timing import KernelCost, TimingModel, WarpCost
+
+#: Extra issue slots charged per runtime-call dispatch (mapSetup etc.).
+_SETUP_INSTR = 24.0
+_MATH_CALL_INSTR = 8.0
+
+#: Smallest per-warp chunk in the combine kernel (see run_combine_kernel).
+_MIN_COMBINE_CHUNK = 32
+
+
+@dataclass
+class LaneCharges:
+    """Per-thread (lane) cost events; folded into WarpCost per warp."""
+
+    instructions: float = 0.0
+    global_txn: float = 0.0
+    shared_accesses: float = 0.0
+    shared_atomics: float = 0.0
+    global_atomics: float = 0.0
+    texture_accesses: float = 0.0
+
+
+class GpuInterpreter(Interpreter):
+    """Interpreter specialization that charges memory accesses by the
+    target buffer's memory space."""
+
+    def __init__(self, program: A.Program, builtins: dict, charges: LaneCharges):
+        super().__init__(program, stdin="", builtins=builtins)
+        self.charges = charges
+
+    def _charge_access(self, buffer: Buffer | None, is_store: bool) -> None:
+        """Per-element array accesses are throughput costs, not bare
+        latencies: loops over cached arrays pipeline, so most of the cost
+        lands in the issue domain (which divergence and load balance
+        modulate) with only the cache-miss fraction paying a transaction."""
+        space = getattr(buffer, "space", None)
+        if space == "texture":
+            # Dedicated on-chip texture cache: small tables stay resident.
+            self.charges.instructions += 2.0
+            self.charges.texture_accesses += 0.02
+        elif space == "global":
+            # Random global element reads miss far more often.
+            self.charges.instructions += 2.0
+            self.charges.global_txn += 0.08
+        elif space == "shared":
+            self.charges.shared_accesses += 1.0
+        else:  # private/local: register-speed
+            self.charges.instructions += 1.0
+
+    def _eval_Index(self, expr: A.Index) -> Any:
+        ptr = self._as_ptr(self.eval(expr.base))
+        idx = int(self.eval(expr.index))
+        if ptr.stride > 1:  # row of a flattened 2-D array
+            return Ptr(ptr.buffer, ptr.offset + idx * ptr.stride, 1)
+        self.counters.loads += 1
+        self._charge_access(ptr.buffer, is_store=False)
+        return ptr.buffer.read(ptr.offset + idx)  # type: ignore[union-attr]
+
+    def _eval_Assign(self, expr: A.Assign) -> Any:
+        ref = self._lvalue(expr.target)
+        value = self.eval(expr.value)
+        if expr.op != "=":
+            current = ref.deref()
+            value = self._binop(expr.op[:-1], current, value)
+        ref.store(value)
+        self.counters.stores += 1
+        buffer = ref.buffer if isinstance(ref, Ptr) else None
+        self._charge_access(buffer, is_store=True)
+        return ref.deref()
+
+
+# --------------------------------------------------------------------------
+# Environment construction
+# --------------------------------------------------------------------------
+
+
+def _clone_buffer(buf: Buffer, space: str) -> Buffer:
+    copy = Buffer(buf.elem_type, buf.size, label=buf.label, space=space)
+    copy.data[:] = buf.data
+    return copy
+
+
+def _snapshot_value(snapshot: dict[str, Any], var: VarInfo) -> Any:
+    if var.name not in snapshot:
+        raise GpuError(
+            f"host snapshot missing firstprivate/sharedRO variable {var.name!r}"
+        )
+    return snapshot[var.name]
+
+
+def build_thread_env(
+    interp: Interpreter,
+    kernel: KernelIR,
+    snapshot: dict[str, Any],
+    shared_ro_buffers: dict[str, Buffer],
+) -> None:
+    """Populate a thread's scope per Algorithm 1 placement decisions."""
+    interp.push_scope()
+    for var in kernel.variables.values():
+        kname = var.kernel_name
+        if var.klass is VarClass.CONST_SCALAR:
+            value = _snapshot_value(snapshot, var)
+            interp.declare(kname, var.ctype, value=value)
+        elif var.klass in (VarClass.GLOBAL_RO_ARRAY, VarClass.TEXTURE_ARRAY):
+            interp.declare(kname, T.Pointer(T.VOID),
+                           value=Ptr(shared_ro_buffers[var.name], 0))
+        elif var.klass is VarClass.FIRSTPRIVATE_SCALAR:
+            interp.declare(kname, var.ctype, value=_snapshot_value(snapshot, var))
+        elif var.klass in (VarClass.FIRSTPRIVATE_ARRAY, VarClass.SHARED_ARRAY):
+            host_val = snapshot.get(var.name)
+            space = "shared" if var.klass is VarClass.SHARED_ARRAY else "private"
+            if isinstance(host_val, Buffer):
+                interp.declare(kname, T.Pointer(T.VOID),
+                               value=Ptr(_clone_buffer(host_val, space), 0))
+            elif isinstance(host_val, Ptr) and host_val.buffer is not None:
+                interp.declare(kname, T.Pointer(T.VOID),
+                               value=Ptr(_clone_buffer(host_val.buffer, space), 0))
+            elif isinstance(var.ctype, T.Array):
+                cell = interp.declare(kname, var.ctype)
+                cell.value.space = space
+                if host_val is not None:
+                    raise GpuError(
+                        f"cannot initialize firstprivate array {var.name!r} "
+                        f"from {type(host_val).__name__}"
+                    )
+            else:
+                interp.declare(kname, var.ctype,
+                               value=host_val if host_val is not None else 0)
+        else:  # PRIVATE
+            if isinstance(var.ctype, T.Array):
+                cell = interp.declare(kname, var.ctype)
+                cell.value.space = "private"
+            elif var.ctype.is_pointer:
+                interp.declare(kname, var.ctype, value=NULL)
+            else:
+                interp.declare(kname, var.ctype)
+
+
+def prepare_shared_ro(kernel: KernelIR, snapshot: dict[str, Any]) -> dict[str, Buffer]:
+    """Device-resident copies of sharedRO/texture arrays (one per launch,
+    shared by all threads)."""
+    shared: dict[str, Buffer] = {}
+    for var in kernel.vars_of(VarClass.GLOBAL_RO_ARRAY, VarClass.TEXTURE_ARRAY):
+        host_val = _snapshot_value(snapshot, var)
+        buf = host_val.buffer if isinstance(host_val, Ptr) else host_val
+        if not isinstance(buf, Buffer):
+            raise GpuError(f"sharedRO array {var.name!r} has no backing buffer")
+        space = "texture" if var.klass is VarClass.TEXTURE_ARRAY else "global"
+        shared[var.name] = _clone_buffer(buf, space)
+    return shared
+
+
+# --------------------------------------------------------------------------
+# Map kernel execution
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class MapLaunchResult:
+    cost: KernelCost = field(default_factory=KernelCost)
+    counters: ExecCounters = field(default_factory=ExecCounters)
+    records_processed: int = 0
+    steals: int = 0
+
+
+class _ThreadRecordFeed:
+    """getRecord data source for one thread: its assigned record list."""
+
+    def __init__(self, records: list[bytes], stealing: bool):
+        self.records = records
+        self.index = 0
+        self.stealing = stealing
+
+    def next(self) -> bytes | None:
+        if self.index >= len(self.records):
+            return None
+        rec = self.records[self.index]
+        self.index += 1
+        return rec
+
+
+def _assign_records_static(
+    records: list[bytes], nthreads: int
+) -> list[list[bytes]]:
+    """Static round-robin record distribution within a block."""
+    lanes: list[list[bytes]] = [[] for _ in range(nthreads)]
+    for i, rec in enumerate(records):
+        lanes[i % nthreads].append(rec)
+    return lanes
+
+
+def _assign_records_stealing(
+    records: list[bytes], nthreads: int, capacity_per_thread: int,
+    kv_bound: int | None,
+) -> tuple[list[list[bytes]], int]:
+    """Deterministic emulation of intra-block record stealing: each grab
+    goes to the thread that will become free soonest (least accumulated
+    record bytes — the runtime's proxy for work). Returns (assignment,
+    number of atomic grabs)."""
+    if nthreads <= 0:
+        raise GpuError("no threads in block")
+    lanes: list[list[bytes]] = [[] for _ in range(nthreads)]
+    # (accumulated_bytes, thread_id, records_taken)
+    heap: list[tuple[int, int]] = [(0, t) for t in range(nthreads)]
+    heapq.heapify(heap)
+    taken = [0] * nthreads
+    steals = 0
+    bound = capacity_per_thread if kv_bound is None else max(
+        1, capacity_per_thread // max(kv_bound, 1)
+    )
+    for rec in records:
+        while heap:
+            load, tid = heapq.heappop(heap)
+            if taken[tid] < bound:
+                lanes[tid].append(rec)
+                taken[tid] += 1
+                steals += 1
+                heapq.heappush(heap, (load + len(rec), tid))
+                break
+        else:
+            raise KVStoreOverflow(
+                "all threads in a block exhausted their KV store portions "
+                "while records remain; increase kvpairs or store capacity"
+            )
+    return lanes, steals
+
+
+def _chunk_blocks(records: list[bytes], blocks: int) -> list[list[bytes]]:
+    """Static, equal split of the fileSplit's records across threadblocks."""
+    per = (len(records) + blocks - 1) // max(blocks, 1)
+    return [records[i * per : (i + 1) * per] for i in range(blocks)]
+
+
+def run_map_kernel_global_stealing(
+    device: GpuDevice,
+    kernel: KernelIR,
+    records: list[bytes],
+    snapshot: dict[str, Any],
+    store: GlobalKVStore,
+    partitioner: Partitioner,
+) -> MapLaunchResult:
+    """The design the paper REJECTS (§4.1): one *global* record counter
+    shared by every threadblock. Distribution is perfectly balanced
+    device-wide, but every steal is a global atomic — 'a global
+    work-stealing approach would incur high overheads, due to excessive
+    atomic accesses by the GPU threads'. Provided for the DESIGN.md §6
+    ablation that shows the paper's block-local scheme wins.
+    """
+    if not kernel.is_mapper:
+        raise GpuError("run_map_kernel_global_stealing requires a mapper")
+    # Balance records across ALL threads of the grid (the global queue's
+    # steady-state effect), then execute exactly like the normal kernel —
+    # but charge a *global* atomic per steal instead of a shared one.
+    timing = TimingModel(device.spec)
+    launch = kernel.launch
+    lanes_all, steals = _assign_records_stealing(
+        records, launch.total_threads, store.stores_per_thread,
+        kernel.kvpairs_per_record,
+    )
+    shared_ro = prepare_shared_ro(kernel, snapshot)
+    warp = device.spec.warp_size
+    result = MapLaunchResult()
+    result.steals = steals
+    block_cycles: list[float] = []
+    for block_id in range(launch.blocks):
+        base = block_id * launch.threads
+        warp_costs: list[WarpCost] = []
+        lane_critical = 0.0
+        for warp_start in range(0, launch.threads, warp):
+            lane_instr: list[float] = []
+            wc = WarpCost()
+            for lane in range(warp_start, min(warp_start + warp, launch.threads)):
+                thread_records = lanes_all[base + lane]
+                charges = LaneCharges(instructions=_SETUP_INSTR)
+                if thread_records:
+                    counters = _run_map_thread(
+                        device, kernel, thread_records, snapshot, shared_ro,
+                        store, partitioner, base + lane, charges,
+                    )
+                    # Swap the shared-atomic steal charges for global ones.
+                    charges.global_atomics += charges.shared_atomics
+                    charges.shared_atomics = 0.0
+                    result.counters = result.counters.merged(counters)
+                    result.records_processed += len(thread_records)
+                    issue = (charges.instructions + counters.ops
+                             + counters.branches + 2.0 * counters.fp_ops)
+                    lane_instr.append(issue)
+                    lane_critical = max(
+                        lane_critical,
+                        issue * device.spec.issue_cycles
+                        + charges.global_txn * device.spec.global_mem_cycles / 4.0,
+                    )
+                else:
+                    lane_instr.append(_SETUP_INSTR)
+                wc.global_txn += charges.global_txn
+                wc.shared_accesses += charges.shared_accesses
+                wc.shared_atomics += charges.shared_atomics
+                wc.global_atomics += charges.global_atomics
+                wc.texture_accesses += charges.texture_accesses
+            wc.instructions = timing.divergent_issue(lane_instr)
+            warp_costs.append(wc)
+            result.cost.totals.add(wc)
+            result.cost.warps += 1
+        block_cycles.append(max(timing.block_cycles(warp_costs), lane_critical))
+        result.cost.blocks += 1
+    # All steals hit ONE global counter: atomics on the same address
+    # serialize device-wide, an unhideable critical section — the precise
+    # overhead the paper's block-local scheme avoids.
+    contention = steals * device.spec.global_atomic_cycles
+    result.cost.cycles = timing.grid_cycles(block_cycles) + contention
+    result.cost.seconds = device.cycles_to_seconds(result.cost.cycles)
+    return result
+
+
+def run_map_kernel(
+    device: GpuDevice,
+    kernel: KernelIR,
+    records: list[bytes],
+    snapshot: dict[str, Any],
+    store: GlobalKVStore,
+    partitioner: Partitioner,
+) -> MapLaunchResult:
+    """Execute the map kernel over one fileSplit's records."""
+    if not kernel.is_mapper:
+        raise GpuError("run_map_kernel requires a mapper kernel")
+    timing = TimingModel(device.spec)
+    launch = kernel.launch
+    warp = device.spec.warp_size
+    shared_ro = prepare_shared_ro(kernel, snapshot)
+
+    result = MapLaunchResult()
+    block_cycles: list[float] = []
+    block_records = _chunk_blocks(records, launch.blocks)
+
+    for block_id in range(launch.blocks):
+        recs = block_records[block_id] if block_id < len(block_records) else []
+        if kernel.opt.record_stealing:
+            lanes, steals = _assign_records_stealing(
+                recs, launch.threads, store.stores_per_thread,
+                kernel.kvpairs_per_record,
+            )
+            result.steals += steals
+        else:
+            lanes = _assign_records_static(recs, launch.threads)
+            steals = 0
+
+        warp_costs: list[WarpCost] = []
+        lane_critical_path = 0.0
+        for warp_start in range(0, launch.threads, warp):
+            lane_instr: list[float] = []
+            wc = WarpCost()
+            any_active = False
+            for lane in range(warp_start, min(warp_start + warp, launch.threads)):
+                thread_records = lanes[lane]
+                global_tid = block_id * launch.threads + lane
+                charges = LaneCharges(instructions=_SETUP_INSTR)
+                if thread_records:
+                    any_active = True
+                    counters = _run_map_thread(
+                        device, kernel, thread_records, snapshot, shared_ro,
+                        store, partitioner, global_tid, charges,
+                    )
+                    result.counters = result.counters.merged(counters)
+                    result.records_processed += len(thread_records)
+                    issue = (
+                        charges.instructions
+                        + counters.ops
+                        + counters.branches
+                        + 2.0 * counters.fp_ops
+                    )
+                    lane_instr.append(issue)
+                    # A thread's own record stream is a serial dependency
+                    # chain: its memory accesses pipeline (factor ~4) but
+                    # cannot overlap with each other the way accesses from
+                    # *different* threads can. This per-lane critical path
+                    # is exactly what record stealing shortens (Fig. 7d).
+                    lane_critical_path = max(
+                        lane_critical_path,
+                        issue * device.spec.issue_cycles
+                        + charges.global_txn * device.spec.global_mem_cycles / 4.0,
+                    )
+                else:
+                    lane_instr.append(_SETUP_INSTR)
+                wc.global_txn += charges.global_txn
+                wc.shared_accesses += charges.shared_accesses
+                wc.shared_atomics += charges.shared_atomics
+                wc.global_atomics += charges.global_atomics
+                wc.texture_accesses += charges.texture_accesses
+            if not any_active and not lane_instr:
+                continue
+            wc.instructions = timing.divergent_issue(lane_instr)
+            warp_costs.append(wc)
+            result.cost.totals.add(wc)
+            result.cost.warps += 1
+        block_cycles.append(
+            max(timing.block_cycles(warp_costs), lane_critical_path)
+        )
+        result.cost.blocks += 1
+
+    result.cost.cycles = timing.grid_cycles(block_cycles)
+    result.cost.seconds = device.cycles_to_seconds(result.cost.cycles)
+    return result
+
+
+def _run_map_thread(
+    device: GpuDevice,
+    kernel: KernelIR,
+    thread_records: list[bytes],
+    snapshot: dict[str, Any],
+    shared_ro: dict[str, Buffer],
+    store: GlobalKVStore,
+    partitioner: Partitioner,
+    global_tid: int,
+    charges: LaneCharges,
+) -> ExecCounters:
+    feed = _ThreadRecordFeed(thread_records, kernel.opt.record_stealing)
+    txn_bytes = device.spec.transaction_bytes
+    vec = max(kernel.vector_width, 1)
+
+    def bi_get_record(interp: Interpreter, args: list[Any]) -> int:
+        rec = feed.next()
+        if rec is None:
+            return -1
+        if kernel.opt.record_stealing:
+            charges.shared_atomics += 1.0
+        # The record is read from the device input buffer. Each lane's
+        # record is a *sequential* byte stream: hardware prefetching hides
+        # much of the latency, so part of the cost is issue-side work
+        # (byte handling) proportional to the record length — which is
+        # what record stealing balances.
+        # Latency component (amortized over many in-flight requests) plus
+        # DRAM-throughput cycles charged as issue-side work.
+        charges.global_txn += max(0.25, len(rec) / (8.0 * txn_bytes))
+        charges.instructions += len(rec) / 8.0 + len(rec) / 64.0
+        interp.counters.bytes_in += len(rec)
+        buf = Buffer.from_string(rec.decode("utf-8", errors="replace"))
+        buf.space = "private"
+        ref = args[0]
+        if not isinstance(ref, (ScalarRef, Ptr)):
+            raise CRuntimeError("getRecord needs &line")
+        ref.store(Ptr(buf, 0))
+        return len(rec)
+
+    def bi_emit_kv(interp: Interpreter, args: list[Any]) -> int:
+        if len(args) != 2:
+            raise CRuntimeError("emitKV(key, value)")
+        key = _extract_value(args[0])
+        value = _extract_value(args[1])
+        part = partitioner.partition(key)
+        store.emit(global_tid, key, value, part)
+        nbytes = kernel.key_length + kernel.value_length
+        interp.counters.bytes_out += nbytes
+        # Vectorized stores cut the issue count by the vector width; the
+        # per-thread store stream write-combines, so the latency component
+        # is amortized and shrinks up to 2x with wider accesses.
+        charges.instructions += nbytes / vec
+        charges.global_txn += max(0.25, nbytes / (16.0 * min(vec, 2)))
+        return nbytes
+
+    builtins = _gpu_common_builtins(charges, vec)
+    builtins["getRecord"] = bi_get_record
+    builtins["emitKV"] = bi_emit_kv
+
+    interp = GpuInterpreter(_kernel_program(kernel), builtins, charges)
+    build_thread_env(interp, kernel, snapshot, shared_ro)
+    try:
+        interp.exec_stmt(kernel.body)
+    finally:
+        interp.pop_scope()
+    return interp.counters
+
+
+# --------------------------------------------------------------------------
+# Combine kernel execution
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class CombineLaunchResult:
+    output: list[tuple[Any, Any]] = field(default_factory=list)
+    cost: KernelCost = field(default_factory=KernelCost)
+    counters: ExecCounters = field(default_factory=ExecCounters)
+    chunks: int = 0
+
+
+def run_combine_kernel(
+    device: GpuDevice,
+    kernel: KernelIR,
+    partition_pairs: list[KVPair],
+    snapshot: dict[str, Any],
+) -> CombineLaunchResult:
+    """Execute the combine kernel over one sorted partition.
+
+    Each warp takes a contiguous chunk; all lanes execute redundantly
+    (functionally we run the chunk once and charge redundant issue), with
+    warp-cooperative vectorized KV movement when enabled.
+    """
+    if not kernel.is_combiner:
+        raise GpuError("run_combine_kernel requires a combiner kernel")
+    timing = TimingModel(device.spec)
+    launch = kernel.launch
+    warp = device.spec.warp_size
+    total_warps = launch.blocks * (launch.threads // warp)
+    shared_ro = prepare_shared_ro(kernel, snapshot)
+
+    result = CombineLaunchResult()
+    n = len(partition_pairs)
+    if n == 0:
+        return result
+    # kvsPerThread = partition size / warp count, floored so tiny
+    # partitions use few warps instead of one-pair chunks (launching a
+    # full grid for a handful of pairs would only manufacture partials).
+    chunk_size = max(_MIN_COMBINE_CHUNK, (n + total_warps - 1) // total_warps)
+    chunks = [
+        partition_pairs[i : i + chunk_size] for i in range(0, n, chunk_size)
+    ]
+    result.chunks = len(chunks)
+
+    warps_per_block = launch.threads // warp
+    block_warp_costs: dict[int, list[WarpCost]] = {}
+    for chunk_id, chunk in enumerate(chunks):
+        block_id = chunk_id // warps_per_block
+        charges = LaneCharges(instructions=_SETUP_INSTR)
+        counters, out = _run_combine_warp(device, kernel, chunk, snapshot,
+                                          shared_ro, charges)
+        result.counters = result.counters.merged(counters)
+        result.output.extend(out)
+        wc = WarpCost(
+            instructions=charges.instructions + counters.ops + counters.branches
+            + 2.0 * counters.fp_ops,
+            global_txn=charges.global_txn,
+            shared_accesses=charges.shared_accesses,
+            shared_atomics=charges.shared_atomics,
+            global_atomics=charges.global_atomics,
+            texture_accesses=charges.texture_accesses,
+        )
+        block_warp_costs.setdefault(block_id, []).append(wc)
+        result.cost.totals.add(wc)
+        result.cost.warps += 1
+
+    block_cycles = [timing.block_cycles(wcs) for wcs in block_warp_costs.values()]
+    result.cost.blocks = len(block_cycles)
+    result.cost.cycles = timing.grid_cycles(block_cycles)
+    result.cost.seconds = device.cycles_to_seconds(result.cost.cycles)
+    return result
+
+
+def _run_combine_warp(
+    device: GpuDevice,
+    kernel: KernelIR,
+    chunk: list[KVPair],
+    snapshot: dict[str, Any],
+    shared_ro: dict[str, Buffer],
+    charges: LaneCharges,
+) -> tuple[ExecCounters, list[tuple[Any, Any]]]:
+    index = 0
+    output: list[tuple[Any, Any]] = []
+    txn_bytes = device.spec.transaction_bytes
+    vec = max(kernel.vector_width, 1)
+    cooperative = vec > 1
+    kv_bytes = kernel.key_length + kernel.value_length
+
+    def _charge_kv_move() -> None:
+        if cooperative:
+            # Lane-per-element cooperative move: coalesced transactions.
+            charges.global_txn += max(1.0, kv_bytes / txn_bytes)
+            charges.instructions += max(1.0, kv_bytes / (4.0 * vec))
+        else:
+            # Single active lane, word-at-a-time (uncoalesced).
+            charges.global_txn += max(1.0, kv_bytes / 8.0)
+            charges.instructions += kv_bytes / 2.0
+
+    def bi_get_kv(interp: Interpreter, args: list[Any]) -> int:
+        nonlocal index
+        if index >= len(chunk):
+            return -1
+        pair = chunk[index]
+        index += 1
+        _charge_kv_move()
+        interp.counters.bytes_in += kv_bytes
+        key_ref, val_ref = args[0], args[1]
+        _store_kv_arg(key_ref, pair.key)
+        _store_kv_arg(val_ref, pair.value)
+        return 2
+
+    def bi_store_kv(interp: Interpreter, args: list[Any]) -> int:
+        key = _extract_value(args[0])
+        value = _extract_value(args[1])
+        output.append((key, value))
+        _charge_kv_move()
+        interp.counters.bytes_out += kv_bytes
+        return kv_bytes
+
+    builtins = _gpu_common_builtins(charges, vec)
+    builtins["getKV"] = bi_get_kv
+    builtins["storeKV"] = bi_store_kv
+
+    interp = GpuInterpreter(_kernel_program(kernel), builtins, charges)
+    build_thread_env(interp, kernel, snapshot, shared_ro)
+    try:
+        interp.exec_stmt(kernel.body)
+    finally:
+        interp.pop_scope()
+    return interp.counters, output
+
+
+# --------------------------------------------------------------------------
+# Shared helpers
+# --------------------------------------------------------------------------
+
+
+def _extract_value(arg: Any) -> Any:
+    """Convert an evaluated kernel argument to a plain Python KV datum."""
+    if isinstance(arg, Ptr):
+        return arg.c_string()
+    if isinstance(arg, Buffer):
+        return arg.c_string()
+    if isinstance(arg, ScalarRef):
+        return arg.deref()
+    return arg
+
+
+def _store_kv_arg(ref: Any, value: Any) -> None:
+    if isinstance(ref, Ptr) and ref.buffer is not None and \
+            ref.buffer.elem_type == T.CHAR and isinstance(value, str):
+        ref.buffer.store_string(ref.offset, value)
+    elif isinstance(ref, (Ptr, ScalarRef)):
+        ref.store(value)
+    else:
+        raise CRuntimeError(f"getKV target is not a pointer: {ref!r}")
+
+
+_MATH_FUNCS = frozenset(
+    ["sqrt", "sqrtf", "exp", "expf", "log", "logf", "log2", "pow", "powf",
+     "erf", "erff", "fabs", "fabsf", "floor", "ceil", "fmin", "fmax",
+     "sin", "sinf", "cos", "cosf", "tan", "atan"]
+)
+_STRING_FUNCS = frozenset(
+    ["strcmp", "strncmp", "strcpy", "strlen", "strcat", "strstr"]
+)
+
+
+def _gpu_common_builtins(charges: LaneCharges, vec: int) -> dict[str, Callable]:
+    """Device versions of the C library: same semantics as the host table,
+    plus cost charging. The runtime 'provides equivalent implementations'
+    of C standard functions the GPU lacks (paper §4.1)."""
+    base = host_builtins()
+    gpu: dict[str, Callable] = {}
+
+    def wrap_math(fn: Callable) -> Callable:
+        def impl(interp: Interpreter, args: list[Any]) -> Any:
+            charges.instructions += _MATH_CALL_INSTR
+            interp.counters.fp_ops += 4
+            return fn(interp, args)
+
+        return impl
+
+    def wrap_string(name: str, fn: Callable) -> Callable:
+        def impl(interp: Interpreter, args: list[Any]) -> Any:
+            # Vectorized string ops move char4 at a time (paper §4.1).
+            length = 0
+            for arg in args:
+                if isinstance(arg, Ptr) and arg.buffer is not None and \
+                        arg.buffer.elem_type == T.CHAR:
+                    length = max(length, len(arg.c_string()))
+            charges.instructions += max(1.0, length / max(vec, 1))
+            return fn(interp, args)
+
+        return impl
+
+    for name, fn in base.items():
+        if name in _MATH_FUNCS:
+            gpu[name] = wrap_math(fn)
+        elif name in _STRING_FUNCS:
+            gpu[name] = wrap_string(name, fn)
+        elif name in ("printf", "scanf", "getline"):
+            continue  # must have been rewritten by the translator
+        else:
+            gpu[name] = fn
+
+    def bi_unsupported(name: str) -> Callable:
+        def impl(interp: Interpreter, args: list[Any]) -> Any:
+            raise GpuError(
+                f"{name} survived translation into the GPU kernel; the "
+                "translator should have rewritten it"
+            )
+
+        return impl
+
+    for name in ("printf", "scanf", "getline"):
+        gpu[name] = bi_unsupported(name)
+    return gpu
+
+
+def _kernel_program(kernel: KernelIR) -> A.Program:
+    """A Program wrapper exposing the user's helper functions (anything
+    besides ``main``) so kernel bodies can call them — the paper's
+    translator emits ``__device__`` versions of such helpers."""
+    return A.Program(functions=kernel.helpers)

@@ -1,0 +1,57 @@
+"""Minimal discrete-event loop."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from ..errors import HadoopError
+
+
+class EventLoop:
+    """Time-ordered callback queue. Ties break by insertion order, so the
+    simulation is fully deterministic."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self.now = 0.0
+        self._running = False
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> None:
+        if delay < 0:
+            raise HadoopError(f"cannot schedule in the past (delay={delay})")
+        heapq.heappush(self._heap, (self.now + delay, self._seq, fn))
+        self._seq += 1
+
+    def schedule_at(self, when: float, fn: Callable[[], None]) -> None:
+        if when < self.now:
+            raise HadoopError(f"cannot schedule at {when} < now {self.now}")
+        heapq.heappush(self._heap, (when, self._seq, fn))
+        self._seq += 1
+
+    def run(self, max_events: int = 20_000_000,
+            until: Callable[[], bool] | None = None) -> None:
+        """Drain the queue; ``until`` (checked after each event) stops early."""
+        if self._running:
+            raise HadoopError("event loop is not reentrant")
+        self._running = True
+        try:
+            events = 0
+            while self._heap:
+                when, _seq, fn = heapq.heappop(self._heap)
+                self.now = when
+                fn()
+                events += 1
+                if events > max_events:
+                    raise HadoopError(
+                        f"event budget exhausted ({max_events}); livelock?"
+                    )
+                if until is not None and until():
+                    return
+        finally:
+            self._running = False
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,239 @@
+"""Functional single-process job runner (Hadoop's LocalJobRunner).
+
+Executes a complete MapReduce job over real bytes: input splitting,
+map tasks on the CPU path (Hadoop Streaming filters) or the GPU path
+(translated kernels on the simulated device), hash partitioning, the
+shuffle, per-reducer merge sort, and the reduce function. This is the
+correctness backbone: CPU output, GPU output, and the app's pure-Python
+reference must all agree after reduce — including under the combiner's
+§4.2 relaxation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..apps.base import Application
+from ..config import CLUSTER1, ClusterConfig, OptimizationFlags
+from ..costmodel.cpu import CpuTaskModel, CpuTaskTiming
+from ..costmodel.io import IoModel
+from ..errors import HadoopError
+from ..gpu.device import GpuDevice
+from ..kvstore import Partitioner
+from ..runtime.gpu_task import GpuTaskResult, GpuTaskRunner
+
+
+def parse_kv_line(line: str) -> tuple[Any, Any]:
+    """Parse a streaming 'key<TAB>value' line into typed KV."""
+    if "\t" not in line:
+        raise HadoopError(f"malformed KV line {line!r}")
+    k, v = line.split("\t", 1)
+    return _coerce(k), _coerce(v)
+
+
+def _coerce(text: str) -> Any:
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def _sort_key(key: Any) -> tuple[int, Any]:
+    if isinstance(key, (int, float)):
+        return (0, float(key))
+    return (1, str(key))
+
+
+@dataclass
+class LocalJobResult:
+    """Functional + timing outcome of one local job."""
+
+    output: dict[Any, Any] = field(default_factory=dict)
+    map_tasks: int = 0
+    gpu_task_results: list[GpuTaskResult] = field(default_factory=list)
+    cpu_task_timings: list[CpuTaskTiming] = field(default_factory=list)
+    map_output_pairs: int = 0
+    shuffle_bytes: int = 0
+
+    @property
+    def total_map_seconds(self) -> float:
+        return sum(r.seconds for r in self.gpu_task_results) + sum(
+            t.total for t in self.cpu_task_timings
+        )
+
+
+class LocalJobRunner:
+    """Run a full job for one application in-process.
+
+    Parameters
+    ----------
+    app:
+        The benchmark application.
+    cluster:
+        Supplies the GPU spec, IO rates, and replication factor.
+    use_gpu:
+        True → map tasks run through the translated kernels on the
+        simulated device; False → plain Hadoop Streaming on the CPU path.
+    split_bytes:
+        fileSplit size for input splitting (tests use small splits; the
+        real 256 MB default would make functional runs needlessly slow).
+    """
+
+    def __init__(
+        self,
+        app: Application,
+        cluster: ClusterConfig = CLUSTER1,
+        use_gpu: bool = True,
+        opt: OptimizationFlags | None = None,
+        num_reducers: int | None = None,
+        split_bytes: int = 64 * 1024,
+    ):
+        self.app = app
+        self.cluster = cluster
+        self.use_gpu = use_gpu
+        self.opt = opt if opt is not None else OptimizationFlags.all_on()
+        figures = app.cluster1 if cluster.name == "Cluster1" else app.cluster2
+        default_reducers = figures.reduce_tasks if figures else 1
+        self.num_reducers = (
+            num_reducers if num_reducers is not None else default_reducers
+        )
+        self.split_bytes = split_bytes
+        self.io = IoModel.for_cluster(cluster)
+        self.partitioner = Partitioner(max(self.num_reducers, 1))
+
+    # -- input splitting ---------------------------------------------------------
+
+    def make_splits(self, input_text: str) -> list[bytes]:
+        """Split on record boundaries at ~split_bytes (LineRecordReader's
+        behaviour of never splitting a record)."""
+        data = input_text.encode("utf-8")
+        splits: list[bytes] = []
+        start = 0
+        while start < len(data):
+            end = min(start + self.split_bytes, len(data))
+            if end < len(data):
+                nl = data.find(b"\n", end)
+                end = len(data) if nl == -1 else nl + 1
+            splits.append(data[start:end])
+            start = end
+        return splits or [b""]
+
+    # -- map side ------------------------------------------------------------------
+
+    def _run_gpu_map_task(self, split: bytes, device: GpuDevice,
+                          result: LocalJobResult) -> dict[int, list[tuple[Any, Any]]]:
+        runner = GpuTaskRunner(
+            self.app.translate_map(self.opt),
+            self.app.translate_combine(self.opt),
+            device,
+            self.io,
+            num_reducers=self.num_reducers,
+            replication=self.cluster.hdfs_replication,
+            min_gpu_mem=self.app.min_gpu_mem,
+        )
+        task = runner.run(split)
+        result.gpu_task_results.append(task)
+        result.map_output_pairs += task.emitted_pairs
+        return task.partition_output
+
+    def _run_cpu_map_task(self, split: bytes,
+                          result: LocalJobResult) -> dict[int, list[tuple[Any, Any]]]:
+        text = split.decode("utf-8", errors="replace")
+        map_out, map_counters = self.app.cpu_map(text)
+        pairs = [parse_kv_line(ln) for ln in map_out.splitlines() if ln]
+        result.map_output_pairs += len(pairs)
+
+        # Partition, sort each partition, then run the combiner filter.
+        parts: dict[int, list[tuple[Any, Any]]] = defaultdict(list)
+        for k, v in pairs:
+            parts[self.partitioner.partition(k)].append((k, v))
+        combined: dict[int, list[tuple[Any, Any]]] = {}
+        combine_counters = None
+        for part, kvs in parts.items():
+            kvs.sort(key=lambda kv: _sort_key(kv[0]))
+            if self.app.has_combiner:
+                text_in = "".join(f"{k}\t{v}\n" for k, v in kvs)
+                out, counters = self.app.cpu_combine(text_in)
+                combine_counters = counters if combine_counters is None \
+                    else combine_counters.merged(counters)
+                combined[part] = [
+                    parse_kv_line(ln) for ln in out.splitlines() if ln
+                ]
+            else:
+                combined[part] = kvs
+
+        output_bytes = sum(
+            len(f"{k}\t{v}\n".encode()) for kvs in combined.values() for k, v in kvs
+        )
+        model = CpuTaskModel(self.cluster.cpu, self.io)
+        key_len = (
+            self.app.translate_map().map_kernel.key_length
+            if self.app.map_source else 16
+        )
+        result.cpu_task_timings.append(
+            model.task_timing(
+                split_bytes=len(split),
+                map_counters=map_counters,
+                map_kv_pairs=len(pairs),
+                key_length=key_len,
+                combine_counters=combine_counters,
+                output_bytes=output_bytes,
+                map_only=self.app.map_only,
+                replication=self.cluster.hdfs_replication,
+            )
+        )
+        return combined
+
+    # -- full job --------------------------------------------------------------------
+
+    def run(self, input_text: str) -> LocalJobResult:
+        result = LocalJobResult()
+        splits = self.make_splits(input_text)
+        result.map_tasks = len(splits)
+        device = GpuDevice(self.cluster.gpu) if self.use_gpu else None
+
+        # Map phase → shuffle inputs grouped by reduce partition.
+        shuffle: dict[int, list[tuple[Any, Any]]] = defaultdict(list)
+        for split in splits:
+            if self.use_gpu:
+                parts = self._run_gpu_map_task(split, device, result)
+            else:
+                parts = self._run_cpu_map_task(split, result)
+            for part, kvs in parts.items():
+                shuffle[part].extend(kvs)
+                result.shuffle_bytes += sum(
+                    len(f"{k}\t{v}\n".encode()) for k, v in kvs
+                )
+
+        # Reduce phase: merge-sort each partition, then apply the reduce
+        # function — preferably the app's mini-C Streaming reducer
+        # (reducers always run on CPUs, paper §3.1), else the Python one.
+        output: dict[Any, Any] = {}
+        use_minic = self.app.reduce_source is not None
+        for part in sorted(shuffle):
+            kvs = sorted(shuffle[part], key=lambda kv: _sort_key(kv[0]))
+            if use_minic:
+                text_in = "".join(f"{k}\t{v}\n" for k, v in kvs)
+                out_text, _counters = self.app.cpu_reduce(text_in)
+                reduced = [parse_kv_line(ln) for ln in out_text.splitlines() if ln]
+            else:
+                grouped: dict[Any, list[Any]] = defaultdict(list)
+                for k, v in kvs:
+                    grouped[k].append(v)
+                reduced = [
+                    pair
+                    for key, values in grouped.items()
+                    for pair in self.app.reduce(key, values)
+                ]
+            for out_k, out_v in reduced:
+                if out_k in output:
+                    raise HadoopError(f"reducer emitted duplicate key {out_k!r}")
+                output[out_k] = out_v
+        result.output = output
+        return result

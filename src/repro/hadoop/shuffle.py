@@ -1,0 +1,73 @@
+"""Shuffle / sort / reduce phase model (paper §2.2).
+
+The paper's GPU contribution ends at map+combine output; reduce always
+runs on CPUs, identically under every scheduler — Table 2's '%Exec. Time
+Map+Combine Active' column quantifies how much the common reduce tail
+dampens end-to-end speedups. We model the phase analytically:
+
+* shuffle: each reducer fetches its partition from every map output;
+  fetches overlap map execution after the slowstart point, so only the
+  *last wave* of map outputs remains to move when maps finish;
+* sort: the reducer's multi-way merge over its fetched runs;
+* reduce + HDFS write: compute plus replicated output write.
+
+Reducers round-robin over nodes and share each node's reduce slots.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..config import ClusterConfig
+from ..costmodel.io import IoModel
+from ..errors import ConfigError
+from .job import JobConf
+
+#: Fraction of total map output still unfetched when the last map ends
+#: (the final map wave; earlier waves shuffled concurrently with maps).
+_LAST_WAVE_FRACTION = 0.15
+
+#: Merge cost per byte per log2(runs) on one core, in seconds.
+_MERGE_S_PER_BYTE = 2.0e-9
+
+
+@dataclass
+class ReducePhaseEstimate:
+    shuffle_seconds: float
+    merge_seconds: float
+    reduce_seconds: float
+    write_seconds: float
+
+    @property
+    def total(self) -> float:
+        return (self.shuffle_seconds + self.merge_seconds
+                + self.reduce_seconds + self.write_seconds)
+
+
+def estimate_reduce_phase(job: JobConf, io: IoModel) -> ReducePhaseEstimate:
+    """Seconds from the last map completion to job completion."""
+    if job.map_only:
+        return ReducePhaseEstimate(0.0, 0.0, 0.0, 0.0)
+    if job.num_reduce_tasks <= 0:
+        raise ConfigError("reduce phase on a map-only job")
+    cluster = job.cluster
+    total_map_output = job.map_output_bytes * job.num_map_tasks
+    per_reducer = total_map_output / job.num_reduce_tasks
+
+    # Reducers run in waves over the cluster's reduce slots.
+    reduce_slots = cluster.num_slaves * cluster.max_reduce_slots_per_node
+    waves = math.ceil(job.num_reduce_tasks / reduce_slots)
+
+    shuffle = io.shuffle_s(int(per_reducer * _LAST_WAVE_FRACTION))
+    merge = per_reducer * _MERGE_S_PER_BYTE * max(
+        1.0, math.log2(max(job.num_map_tasks, 2))
+    )
+    reduce_s = job.reduce_compute_seconds
+    write = io.hdfs_write_s(int(per_reducer), cluster.hdfs_replication)
+    return ReducePhaseEstimate(
+        shuffle_seconds=shuffle * waves,
+        merge_seconds=merge * waves,
+        reduce_seconds=reduce_s * waves,
+        write_seconds=write * waves,
+    )

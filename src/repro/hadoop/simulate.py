@@ -1,0 +1,295 @@
+"""Discrete-event cluster simulation of one MapReduce job.
+
+Wires HDFS block placement, the JobTracker, per-node TaskTrackers, the
+heartbeat protocol, and a scheduling policy into the event loop, then
+runs every map task to completion and adds the reduce-phase estimate.
+Task durations come from a :class:`TaskDurationModel` (calibrated from
+the single-task functional simulations; see
+``repro.experiments.calibrate``) with deterministic per-task jitter.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..costmodel.io import IoModel
+from ..errors import HadoopError
+from ..hdfs import Hdfs
+from ..scheduling.tail import SchedulingPolicy
+from .events import EventLoop
+from .job import JobConf, JobResult
+from .jobtracker import JobTracker
+from .shuffle import estimate_reduce_phase
+from .tasks import MapTask, SlotKind, TaskState
+from .tasktracker import TaskTracker
+
+
+@dataclass
+class TaskDurationModel:
+    """Samples per-task durations with deterministic jitter.
+
+    ``failure_rate`` injects task failures (fault-tolerance tests): a
+    failed attempt consumes half its duration, is reported to the
+    JobTracker, and is rescheduled (paper §5.1).
+
+    ``node_speed_factors`` models *inter-node* heterogeneity — the
+    paper's explicit future work ('We leave handling of extreme
+    inter-node heterogeneity to future work', §9): a factor > 1 makes a
+    node's CPU tasks proportionally slower (older processors), while its
+    GPUs keep their own speed.
+    """
+
+    cpu_seconds: float
+    gpu_seconds: float
+    jitter: float = 0.04
+    nonlocal_penalty: float = 2.0
+    failure_rate: float = 0.0
+    seed: int = 99
+    node_speed_factors: dict[int, float] | None = None
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def sample(self, slot: SlotKind, data_local: bool,
+               node: int | None = None) -> tuple[float, bool]:
+        """(duration, fails) for one attempt."""
+        base = self.cpu_seconds if slot is SlotKind.CPU else self.gpu_seconds
+        if (slot is SlotKind.CPU and node is not None
+                and self.node_speed_factors is not None):
+            base *= self.node_speed_factors.get(node, 1.0)
+        jit = self._rng.uniform(-self.jitter, self.jitter)
+        duration = base * (1.0 + jit)
+        if not data_local:
+            duration += self.nonlocal_penalty
+        fails = self._rng.random() < self.failure_rate
+        return duration, fails
+
+
+@dataclass
+class _Attempt:
+    """One execution attempt of a map task (speculation can create two)."""
+
+    task: MapTask
+    tracker: TaskTracker
+    slot: SlotKind
+    duration: float
+    speculative: bool = False
+
+
+class ClusterSimulator:
+    """Runs one job under one scheduling policy.
+
+    ``speculative`` enables Hadoop's speculative execution (Table 3 rows;
+    the paper ran with it Off): once no pending work remains, stragglers
+    — running attempts projected to finish well after the completed-task
+    mean — get a backup attempt on a free CPU slot; the first finisher
+    wins and the loser's result is discarded.
+    """
+
+    #: A running task is a straggler once its projected completion exceeds
+    #: this multiple of the mean completed-task duration.
+    SPECULATION_THRESHOLD = 1.4
+
+    def __init__(self, job: JobConf, policy: SchedulingPolicy,
+                 durations: TaskDurationModel | None = None,
+                 speculative: bool | None = None):
+        self.job = job
+        self.policy = policy
+        cluster = job.cluster
+        self.durations = durations or TaskDurationModel(
+            cpu_seconds=job.cpu_task_seconds,
+            gpu_seconds=job.gpu_task_seconds,
+            jitter=job.duration_jitter,
+            nonlocal_penalty=job.nonlocal_read_penalty,
+            seed=job.seed,
+        )
+        self.io = IoModel.for_cluster(cluster)
+
+        # Block placement through the simulated HDFS namenode.
+        hdfs = Hdfs(
+            num_nodes=cluster.num_slaves,
+            block_size=cluster.hdfs_block_size,
+            replication=cluster.hdfs_replication,
+            seed=job.seed,
+        )
+        f = hdfs.put_virtual(f"{job.name}.input", job.num_map_tasks)
+        self.tasks = [
+            MapTask(
+                task_id=i,
+                split_index=i,
+                preferred_nodes=f.blocks[i].replicas,
+            )
+            for i in range(job.num_map_tasks)
+        ]
+        self.jobtracker = JobTracker(
+            tasks=self.tasks,
+            policy=policy,
+            num_slaves=cluster.num_slaves,
+            gpus_per_node=cluster.gpus_per_node if policy.uses_gpus else 0,
+        )
+        self.trackers = [
+            TaskTracker(
+                node=n,
+                cpu_slots=cluster.max_map_slots_per_node,
+                num_gpus=cluster.gpus_per_node if policy.uses_gpus else 0,
+                policy=policy,
+            )
+            for n in range(cluster.num_slaves)
+        ]
+        self.loop = EventLoop()
+        self._map_phase_end = 0.0
+        self._failures = 0
+        self.speculative = (
+            speculative if speculative is not None
+            else cluster.speculative_execution
+        )
+        self._running_attempts: dict[int, _Attempt] = {}  # task_id → primary
+        self._speculated: set[int] = set()
+        self._completed_durations: list[float] = []
+        self.wasted_speculation_seconds = 0.0
+        self.speculative_attempts = 0
+
+    # -- event handlers ---------------------------------------------------------
+
+    def _heartbeat(self, tracker: TaskTracker) -> None:
+        if self.jobtracker.all_maps_done:
+            return  # cluster drains; no more heartbeats needed
+        response = self.jobtracker.handle_heartbeat(tracker.make_heartbeat())
+        tracker.maps_remaining_per_node = response.maps_remaining_per_node
+        for task_id in response.task_ids:
+            task = self.jobtracker.get_task(task_id)
+            self._launch(tracker, task)
+        if self.speculative and not response.task_ids \
+                and self.jobtracker.pending_maps == 0:
+            self._maybe_speculate(tracker)
+        self.loop.schedule(
+            self.job.cluster.heartbeat_interval_s, lambda: self._heartbeat(tracker)
+        )
+
+    def _maybe_speculate(self, tracker: TaskTracker) -> None:
+        """Launch a backup attempt for the worst straggler on a free CPU
+        slot (Hadoop's speculative execution, simplified to projected
+        completion vs the completed-task mean)."""
+        if not self._completed_durations:
+            return
+        mean = sum(self._completed_durations) / len(self._completed_durations)
+        now = self.loop.now
+        worst: _Attempt | None = None
+        worst_remaining = 0.0
+        for task_id, attempt in self._running_attempts.items():
+            if task_id in self._speculated:
+                continue
+            projected = attempt.task.start_time + attempt.duration
+            if projected - attempt.task.start_time \
+                    < self.SPECULATION_THRESHOLD * mean:
+                continue
+            remaining = projected - now
+            if remaining > worst_remaining and remaining > mean * 0.5:
+                worst, worst_remaining = attempt, remaining
+        if worst is None or not tracker.reserve_cpu_slot():
+            return
+        duration, _fails = self.durations.sample(
+            SlotKind.CPU, data_local=False, node=tracker.node
+        )
+        backup = _Attempt(task=worst.task, tracker=tracker,
+                          slot=SlotKind.CPU, duration=duration,
+                          speculative=True)
+        self._speculated.add(worst.task.task_id)
+        self.speculative_attempts += 1
+        self.loop.schedule(duration, lambda: self._attempt_done(backup))
+
+    def _launch(self, tracker: TaskTracker, task: MapTask) -> None:
+        slot = tracker.place(task)
+        if slot is SlotKind.GPU and task in tracker.gpu_queue:
+            return  # queued behind a busy device; started on free-up
+        self._start(tracker, task)
+
+    def _start(self, tracker: TaskTracker, task: MapTask) -> None:
+        task.assign(tracker.node, self.loop.now)
+        duration, fails = self.durations.sample(
+            task.slot, task.data_local, node=tracker.node
+        )
+        attempt = _Attempt(task=task, tracker=tracker, slot=task.slot,
+                           duration=duration)
+        self._running_attempts[task.task_id] = attempt
+        if fails:
+            self.loop.schedule(
+                duration * 0.5, lambda: self._fail(attempt, duration * 0.5)
+            )
+        else:
+            self.loop.schedule(duration, lambda: self._attempt_done(attempt))
+
+    def _fail(self, attempt: _Attempt, elapsed: float) -> None:
+        task, tracker = attempt.task, attempt.tracker
+        if task.state is TaskState.COMPLETED:
+            # A speculative backup already finished this task.
+            tracker.release_slot(attempt.slot, elapsed)
+            self._drain_gpu_queue(tracker)
+            return
+        task.fail(self.loop.now)
+        tracker.release_slot(attempt.slot, elapsed)
+        tracker.stats.failures += 1
+        self._failures += 1
+        self._running_attempts.pop(task.task_id, None)
+        self.jobtracker.task_failed(task)
+        self._drain_gpu_queue(tracker)
+
+    def _attempt_done(self, attempt: _Attempt) -> None:
+        task, tracker = attempt.task, attempt.tracker
+        tracker.release_slot(attempt.slot, attempt.duration)
+        if task.state is TaskState.COMPLETED:
+            # The other (primary or speculative) attempt already won.
+            self.wasted_speculation_seconds += attempt.duration
+            self._drain_gpu_queue(tracker)
+            return
+        task.complete(self.loop.now)
+        if attempt.speculative:
+            task.node = tracker.node
+            task.slot = attempt.slot
+        self._running_attempts.pop(task.task_id, None)
+        self._completed_durations.append(attempt.duration)
+        self.jobtracker.note_completed(task)
+        self._map_phase_end = max(self._map_phase_end, self.loop.now)
+        self._drain_gpu_queue(tracker)
+
+    def _drain_gpu_queue(self, tracker: TaskTracker) -> None:
+        queued = tracker.queued_gpu_task()
+        if queued is not None:
+            self._start(tracker, queued)
+
+    # -- run ---------------------------------------------------------------------
+
+    def run(self) -> JobResult:
+        # Stagger initial heartbeats as real TaskTrackers do.
+        interval = self.job.cluster.heartbeat_interval_s
+        for i, tracker in enumerate(self.trackers):
+            offset = interval * i / max(len(self.trackers), 1)
+            self.loop.schedule(offset, lambda t=tracker: self._heartbeat(t))
+        self.loop.run()
+
+        if not self.jobtracker.all_maps_done:
+            raise HadoopError(
+                f"simulation drained with {self.jobtracker.remaining_maps} "
+                "maps unfinished"
+            )
+
+        reduce_phase = estimate_reduce_phase(self.job, self.io)
+        completed = [t for t in self.tasks if t.state is TaskState.COMPLETED]
+        gpu_tasks = sum(1 for t in completed if t.slot is SlotKind.GPU)
+        local = sum(1 for t in completed if t.data_local)
+        return JobResult(
+            job_seconds=self._map_phase_end + reduce_phase.total,
+            map_phase_seconds=self._map_phase_end,
+            reduce_phase_seconds=reduce_phase.total,
+            cpu_tasks=len(completed) - gpu_tasks,
+            gpu_tasks=gpu_tasks,
+            forced_gpu_tasks=sum(1 for t in completed if t.forced_gpu),
+            data_local_fraction=local / max(len(completed), 1),
+            failures=self._failures,
+            max_observed_speedup=self.jobtracker.max_speedup,
+            timeline=[
+                (t.finish_time, t.node or 0, t.slot.value if t.slot else "?")
+                for t in completed
+            ],
+        )

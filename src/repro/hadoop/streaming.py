@@ -1,0 +1,106 @@
+"""Hadoop Streaming (paper §2.2, [19]).
+
+'Map, combine, and reduce can be written as unix-style "filter"
+functions': each phase is an executable that reads records or KV lines
+on stdin and writes KV lines on stdout. HeteroDoop plugs into exactly
+this mechanism — the original mini-C source *is* the CPU executable, and
+the GPU driver substitutes the translated kernels behind the same
+interface.
+
+This module is that interface: :class:`StreamingFilter` wraps a mini-C
+program as a reusable filter, and :class:`StreamingPipeline` chains
+map → sort → combine the way a Hadoop map task's user-code side does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..apps.base import Application
+from ..errors import HadoopError
+from ..minic import cast as A
+from ..minic.interpreter import ExecCounters, run_filter
+
+
+def format_kv(pairs: list[tuple[Any, Any]]) -> str:
+    """Serialize KV pairs as Streaming's tab-separated lines."""
+    return "".join(f"{k}\t{v}\n" for k, v in pairs)
+
+
+def parse_kv(text: str) -> list[tuple[Any, Any]]:
+    """Parse Streaming KV lines into typed pairs."""
+    from .local import parse_kv_line
+
+    return [parse_kv_line(line) for line in text.splitlines() if line]
+
+
+@dataclass
+class StreamingFilter:
+    """One phase executable (map, combine, or reduce) as a text filter."""
+
+    program: A.Program
+    name: str = "filter"
+    total_counters: ExecCounters = field(default_factory=ExecCounters)
+    invocations: int = 0
+
+    def __call__(self, stdin_text: str) -> str:
+        output, counters = run_filter(self.program, stdin_text)
+        self.total_counters = self.total_counters.merged(counters)
+        self.invocations += 1
+        return output
+
+    def run_kv(self, pairs: list[tuple[Any, Any]]) -> list[tuple[Any, Any]]:
+        """Feed KV pairs in, get KV pairs out (combine/reduce phases)."""
+        return parse_kv(self(format_kv(pairs)))
+
+
+def _sort_key(key: Any) -> tuple[int, Any]:
+    if isinstance(key, (int, float)):
+        return (0, float(key))
+    return (1, str(key))
+
+
+@dataclass
+class StreamingPipeline:
+    """The user-code side of one CPU map task: map filter over the raw
+    split, per-partition sort, then the combine filter (when present)."""
+
+    mapper: StreamingFilter
+    combiner: StreamingFilter | None = None
+
+    @classmethod
+    def for_app(cls, app: Application) -> "StreamingPipeline":
+        mapper = StreamingFilter(app.map_program(), name=f"{app.short}-map")
+        combiner = None
+        combine_prog = app.combine_program()
+        if combine_prog is not None:
+            combiner = StreamingFilter(combine_prog, name=f"{app.short}-combine")
+        return cls(mapper=mapper, combiner=combiner)
+
+    def run_split(self, split_text: str,
+                  partition_of) -> dict[int, list[tuple[Any, Any]]]:
+        """Run one fileSplit through map → partition → sort → combine.
+
+        ``partition_of`` maps a key to its reduce partition.
+        """
+        pairs = parse_kv(self.mapper(split_text))
+        partitions: dict[int, list[tuple[Any, Any]]] = {}
+        for key, value in pairs:
+            partitions.setdefault(partition_of(key), []).append((key, value))
+        out: dict[int, list[tuple[Any, Any]]] = {}
+        for part, kvs in partitions.items():
+            kvs.sort(key=lambda kv: _sort_key(kv[0]))
+            if self.combiner is not None:
+                out[part] = self.combiner.run_kv(kvs)
+            else:
+                out[part] = kvs
+        return out
+
+    @property
+    def map_counters(self) -> ExecCounters:
+        return self.mapper.total_counters
+
+    @property
+    def combine_counters(self) -> ExecCounters | None:
+        return self.combiner.total_counters if self.combiner else None

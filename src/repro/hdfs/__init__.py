@@ -1,0 +1,11 @@
+"""Simulated Hadoop Distributed File System (paper §2.2).
+
+Files are stored as fixed-size blocks (fileSplits), each replicated on
+``replication`` datanodes. The namenode answers placement and locality
+queries; the JobTracker uses them for data-local map scheduling, and the
+IO model charges network reads for locality misses.
+"""
+
+from .filesystem import Hdfs, HdfsFile, Block
+
+__all__ = ["Hdfs", "HdfsFile", "Block"]

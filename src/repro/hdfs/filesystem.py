@@ -1,0 +1,156 @@
+"""Namenode + block placement.
+
+The simulation stores block *metadata* always, and block *contents* only
+when the caller supplies real bytes (single-node functional runs). For
+cluster-scale scheduling experiments only sizes and placements matter.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..errors import HdfsError
+
+
+@dataclass
+class Block:
+    """One fileSplit: metadata plus (optionally) its bytes."""
+
+    block_id: int
+    file_name: str
+    index: int                      # position within the file
+    size: int
+    replicas: tuple[int, ...]       # datanode (slave) ids
+    data: bytes | None = None
+
+    def is_local_to(self, node: int) -> bool:
+        return node in self.replicas
+
+
+@dataclass
+class HdfsFile:
+    name: str
+    blocks: list[Block] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return sum(b.size for b in self.blocks)
+
+
+class Hdfs:
+    """A namenode over ``num_nodes`` datanodes."""
+
+    def __init__(self, num_nodes: int, block_size: int, replication: int,
+                 seed: int = 0):
+        if num_nodes < 1:
+            raise HdfsError("HDFS needs at least one datanode")
+        if replication < 1:
+            raise HdfsError("replication must be >= 1")
+        if replication > num_nodes:
+            replication = num_nodes  # Hadoop clamps to cluster size
+        if block_size <= 0:
+            raise HdfsError("block size must be positive")
+        self.num_nodes = num_nodes
+        self.block_size = block_size
+        self.replication = replication
+        self._rng = random.Random(seed)
+        self._files: dict[str, HdfsFile] = {}
+        self._next_block = 0
+
+    # -- writes ----------------------------------------------------------------
+
+    def _place_replicas(self) -> tuple[int, ...]:
+        """First replica on a random node, the rest on distinct others
+        (Hadoop's rack policy simplified to distinct nodes)."""
+        nodes = list(range(self.num_nodes))
+        self._rng.shuffle(nodes)
+        return tuple(nodes[: self.replication])
+
+    def put(self, name: str, data: bytes) -> HdfsFile:
+        """Store real bytes, split into blocks."""
+        if name in self._files:
+            raise HdfsError(f"file exists: {name}")
+        f = HdfsFile(name=name)
+        for index, start in enumerate(range(0, max(len(data), 1), self.block_size)):
+            chunk = data[start : start + self.block_size]
+            f.blocks.append(
+                Block(
+                    block_id=self._next_block,
+                    file_name=name,
+                    index=index,
+                    size=len(chunk),
+                    replicas=self._place_replicas(),
+                    data=chunk,
+                )
+            )
+            self._next_block += 1
+        self._files[name] = f
+        return f
+
+    def put_virtual(self, name: str, num_blocks: int,
+                    block_bytes: int | None = None) -> HdfsFile:
+        """Register a file by metadata only (cluster-scale experiments:
+        Table 2's 7632-split inputs are not materialized)."""
+        if name in self._files:
+            raise HdfsError(f"file exists: {name}")
+        if num_blocks < 1:
+            raise HdfsError("need at least one block")
+        size = block_bytes if block_bytes is not None else self.block_size
+        f = HdfsFile(name=name)
+        for index in range(num_blocks):
+            f.blocks.append(
+                Block(
+                    block_id=self._next_block,
+                    file_name=name,
+                    index=index,
+                    size=size,
+                    replicas=self._place_replicas(),
+                )
+            )
+            self._next_block += 1
+        self._files[name] = f
+        return f
+
+    # -- reads -----------------------------------------------------------------
+
+    def get_file(self, name: str) -> HdfsFile:
+        try:
+            return self._files[name]
+        except KeyError:
+            raise HdfsError(f"no such file: {name}") from None
+
+    def exists(self, name: str) -> bool:
+        return name in self._files
+
+    def read(self, name: str) -> bytes:
+        f = self.get_file(name)
+        parts: list[bytes] = []
+        for b in f.blocks:
+            if b.data is None:
+                raise HdfsError(
+                    f"block {b.block_id} of {name} is virtual (metadata only)"
+                )
+            parts.append(b.data)
+        return b"".join(parts)
+
+    def locations(self, name: str, index: int) -> tuple[int, ...]:
+        f = self.get_file(name)
+        if not 0 <= index < len(f.blocks):
+            raise HdfsError(f"{name} has no block {index}")
+        return f.blocks[index].replicas
+
+    def delete(self, name: str) -> None:
+        if name not in self._files:
+            raise HdfsError(f"no such file: {name}")
+        del self._files[name]
+
+    def ls(self) -> list[str]:
+        return sorted(self._files)
+
+    def blocks_on(self, node: int) -> list[Block]:
+        """All block replicas hosted by one datanode."""
+        out = []
+        for f in self._files.values():
+            out.extend(b for b in f.blocks if node in b.replicas)
+        return out

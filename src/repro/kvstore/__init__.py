@@ -1,0 +1,20 @@
+"""Global KV store, partitioning, and aggregation (paper §4.1, §4.3, §5.3).
+
+Map threads emit into private portions of a central *global KV store* on
+the device. Unused slots ("whitespaces") scatter the pairs; before the
+sort phase, a scan-based aggregation compacts each partition through the
+indirection array so keys never move in device memory.
+"""
+
+from .global_store import GlobalKVStore, KVPair
+from .partition import Partitioner, fnv1a
+from .aggregation import AggregationResult, aggregate
+
+__all__ = [
+    "GlobalKVStore",
+    "KVPair",
+    "Partitioner",
+    "fnv1a",
+    "AggregationResult",
+    "aggregate",
+]

@@ -1,0 +1,55 @@
+"""Hash partitioning of KV pairs to reduce tasks.
+
+Hadoop's default partitioner is ``hash(key) % numReduceTasks``; we use
+FNV-1a so results are deterministic across processes (Python's builtin
+``hash`` is salted per interpreter run).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import HadoopError
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = (1 << 64) - 1
+
+
+def fnv1a(data: bytes) -> int:
+    """64-bit FNV-1a hash."""
+    h = _FNV_OFFSET
+    for byte in data:
+        h ^= byte
+        h = (h * _FNV_PRIME) & _MASK64
+    return h
+
+
+def _key_bytes(key: Any) -> bytes:
+    if isinstance(key, bytes):
+        return key
+    if isinstance(key, str):
+        return key.encode("utf-8")
+    if isinstance(key, bool):
+        return b"\x01" if key else b"\x00"
+    if isinstance(key, int):
+        return key.to_bytes(8, "little", signed=True)
+    if isinstance(key, float):
+        import struct
+
+        return struct.pack("<d", key)
+    raise HadoopError(f"unhashable key type {type(key).__name__}")
+
+
+class Partitioner:
+    """Maps keys to reduce-task partitions."""
+
+    def __init__(self, num_partitions: int):
+        if num_partitions < 1:
+            raise HadoopError("need at least one partition")
+        self.num_partitions = num_partitions
+
+    def partition(self, key: Any) -> int:
+        if self.num_partitions == 1:
+            return 0
+        return fnv1a(_key_bytes(key)) % self.num_partitions

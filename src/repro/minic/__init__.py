@@ -1,0 +1,39 @@
+"""Mini-C frontend: the input language of the HeteroDoop compiler.
+
+HeteroDoop's prototype accepts sequential C MapReduce programs (Hadoop
+Streaming filters) annotated with ``#pragma mapreduce`` directives. This
+package provides the C-dialect toolchain the reproduction needs:
+
+* :mod:`repro.minic.lexer` — tokenizer (keeps ``#pragma`` lines as tokens),
+* :mod:`repro.minic.cast` — the abstract syntax tree,
+* :mod:`repro.minic.ctypes` — the C type model,
+* :mod:`repro.minic.parser` — recursive-descent parser,
+* :mod:`repro.minic.semantics` — symbol tables and variable analyses,
+* :mod:`repro.minic.interpreter` — the "gcc path": executes the original
+  source as a stdin→stdout filter (used for CPU tasks and as the oracle),
+* :mod:`repro.minic.stdlib` — the modelled C standard library,
+* :mod:`repro.minic.pretty` — AST → source printer.
+
+The dialect covers the constructs used by the paper's listings and the
+eight evaluation benchmarks: scalar and array declarations, pointers,
+control flow, function definitions and calls, string handling, stdio
+(``getline``/``scanf``/``printf``), string.h, stdlib.h and math.h.
+"""
+
+from .cast import Program, FunctionDef, Pragma
+from .lexer import tokenize, Token
+from .parser import parse
+from .interpreter import Interpreter, run_filter
+from .pretty import pprint_program
+
+__all__ = [
+    "Program",
+    "FunctionDef",
+    "Pragma",
+    "tokenize",
+    "Token",
+    "parse",
+    "Interpreter",
+    "run_filter",
+    "pprint_program",
+]

@@ -1,0 +1,307 @@
+"""Abstract syntax tree for the mini-C dialect.
+
+Nodes carry ``line`` for diagnostics. Statement nodes may carry an attached
+:class:`Pragma` (the ``#pragma mapreduce`` directive that immediately
+precedes them in source order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from .ctypes import CType
+
+
+@dataclass
+class Node:
+    line: int = field(default=0, kw_only=True)
+
+    def children(self) -> Iterator["Node"]:
+        return iter(())
+
+    def walk(self) -> Iterator["Node"]:
+        """Pre-order traversal of this subtree."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    pass
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float
+
+
+@dataclass
+class CharLit(Expr):
+    value: int  # the character code
+
+
+@dataclass
+class StringLit(Expr):
+    value: str
+
+
+@dataclass
+class Ident(Expr):
+    name: str
+
+
+@dataclass
+class BinOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def children(self) -> Iterator[Node]:
+        yield self.left
+        yield self.right
+
+
+@dataclass
+class UnaryOp(Expr):
+    """Prefix unary: ``- ! ~ * & ++ --``."""
+
+    op: str
+    operand: Expr
+
+    def children(self) -> Iterator[Node]:
+        yield self.operand
+
+
+@dataclass
+class PostfixOp(Expr):
+    """Postfix ``++``/``--``."""
+
+    op: str
+    operand: Expr
+
+    def children(self) -> Iterator[Node]:
+        yield self.operand
+
+
+@dataclass
+class Assign(Expr):
+    """Assignment, possibly compound (``op`` is '=', '+=', ...)."""
+
+    op: str
+    target: Expr
+    value: Expr
+
+    def children(self) -> Iterator[Node]:
+        yield self.target
+        yield self.value
+
+
+@dataclass
+class Conditional(Expr):
+    cond: Expr
+    then: Expr
+    otherwise: Expr
+
+    def children(self) -> Iterator[Node]:
+        yield self.cond
+        yield self.then
+        yield self.otherwise
+
+
+@dataclass
+class Call(Expr):
+    func: str
+    args: list[Expr]
+
+    def children(self) -> Iterator[Node]:
+        yield from self.args
+
+
+@dataclass
+class Index(Expr):
+    base: Expr
+    index: Expr
+
+    def children(self) -> Iterator[Node]:
+        yield self.base
+        yield self.index
+
+
+@dataclass
+class Cast(Expr):
+    to_type: CType
+    operand: Expr
+
+    def children(self) -> Iterator[Node]:
+        yield self.operand
+
+
+@dataclass
+class SizeofType(Expr):
+    of_type: CType
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    pragma: Optional["Pragma"] = field(default=None, kw_only=True)
+
+
+@dataclass
+class Declarator:
+    """One declared name within a declaration statement."""
+
+    name: str
+    ctype: CType
+    init: Expr | None = None
+    line: int = 0
+
+
+@dataclass
+class DeclStmt(Stmt):
+    decls: list[Declarator] = field(default_factory=list)
+
+    def children(self) -> Iterator[Node]:
+        for d in self.decls:
+            if d.init is not None:
+                yield d.init
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None  # type: ignore[assignment]
+
+    def children(self) -> Iterator[Node]:
+        if self.expr is not None:
+            yield self.expr
+
+
+@dataclass
+class Block(Stmt):
+    stmts: list[Stmt] = field(default_factory=list)
+
+    def children(self) -> Iterator[Node]:
+        yield from self.stmts
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    then: Stmt = None  # type: ignore[assignment]
+    otherwise: Stmt | None = None
+
+    def children(self) -> Iterator[Node]:
+        yield self.cond
+        yield self.then
+        if self.otherwise is not None:
+            yield self.otherwise
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    body: Stmt = None  # type: ignore[assignment]
+
+    def children(self) -> Iterator[Node]:
+        yield self.cond
+        yield self.body
+
+
+@dataclass
+class For(Stmt):
+    init: Stmt | None = None
+    cond: Expr | None = None
+    step: Expr | None = None
+    body: Stmt = None  # type: ignore[assignment]
+
+    def children(self) -> Iterator[Node]:
+        if self.init is not None:
+            yield self.init
+        if self.cond is not None:
+            yield self.cond
+        if self.step is not None:
+            yield self.step
+        yield self.body
+
+
+@dataclass
+class Return(Stmt):
+    value: Expr | None = None
+
+    def children(self) -> Iterator[Node]:
+        if self.value is not None:
+            yield self.value
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# --------------------------------------------------------------------------
+# Top level
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Param:
+    name: str
+    ctype: CType
+
+
+@dataclass
+class FunctionDef(Node):
+    name: str = ""
+    return_type: CType = None  # type: ignore[assignment]
+    params: list[Param] = field(default_factory=list)
+    body: Block = None  # type: ignore[assignment]
+
+    def children(self) -> Iterator[Node]:
+        yield self.body
+
+
+@dataclass
+class Pragma(Node):
+    """A raw ``#pragma`` line; parsed further by ``repro.directives``."""
+
+    text: str = ""
+
+
+@dataclass
+class Program(Node):
+    functions: list[FunctionDef] = field(default_factory=list)
+    source: str = ""
+
+    def children(self) -> Iterator[Node]:
+        yield from self.functions
+
+    def function(self, name: str) -> FunctionDef:
+        for f in self.functions:
+            if f.name == name:
+                return f
+        raise KeyError(f"no function {name!r} in program")
+
+    @property
+    def main(self) -> FunctionDef:
+        return self.function("main")

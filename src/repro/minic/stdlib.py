@@ -1,0 +1,453 @@
+"""Modelled C standard library for mini-C execution.
+
+Provides stdio (``getline``/``scanf``/``printf``), string.h, stdlib.h, and
+math.h, plus the ``getWord`` helper the paper's Wordcount listing uses.
+Builtins receive the interpreter so they can touch its IO streams and
+instrumentation counters.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Callable, TYPE_CHECKING
+
+from ..errors import CRuntimeError
+from . import ctypes as T
+from .values import NULL, Buffer, Ptr, ScalarRef
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .interpreter import Interpreter
+
+
+class InputStream:
+    """Cursor over the program's standard input text.
+
+    Supports both line-oriented reads (``getline``) and token-oriented
+    reads (``scanf``), which may be interleaved like real stdio.
+    """
+
+    __slots__ = ("text", "pos")
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    @property
+    def at_eof(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def read_line(self) -> str | None:
+        """Read up to and including the next newline; None at EOF."""
+        if self.at_eof:
+            return None
+        end = self.text.find("\n", self.pos)
+        if end == -1:
+            line = self.text[self.pos :]
+            self.pos = len(self.text)
+            return line
+        line = self.text[self.pos : end + 1]
+        self.pos = end + 1
+        return line
+
+    def skip_space(self) -> None:
+        while not self.at_eof and self.text[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def read_token(self) -> str | None:
+        """Whitespace-delimited token (scanf %s); None at EOF."""
+        self.skip_space()
+        if self.at_eof:
+            return None
+        start = self.pos
+        while not self.at_eof and self.text[self.pos] not in " \t\r\n":
+            self.pos += 1
+        return self.text[start : self.pos]
+
+    _INT_RE = re.compile(r"[+-]?\d+")
+    _FLOAT_RE = re.compile(r"[+-]?(\d+\.?\d*|\.\d+)([eE][+-]?\d+)?")
+
+    def read_int(self) -> int | None:
+        self.skip_space()
+        m = self._INT_RE.match(self.text, self.pos)
+        if not m:
+            return None
+        self.pos = m.end()
+        return int(m.group(0))
+
+    def read_float(self) -> float | None:
+        self.skip_space()
+        m = self._FLOAT_RE.match(self.text, self.pos)
+        if not m:
+            return None
+        self.pos = m.end()
+        return float(m.group(0))
+
+
+# --------------------------------------------------------------------------
+# printf / scanf machinery
+# --------------------------------------------------------------------------
+
+_FMT_RE = re.compile(r"%([-+ #0]*)(\d+)?(?:\.(\d+))?(l|ll|h)?([diufFeEgGscx%])")
+
+
+def _as_str(value: Any) -> str:
+    if isinstance(value, Ptr):
+        return value.c_string()
+    if isinstance(value, Buffer):
+        return value.c_string()
+    if isinstance(value, str):
+        return value
+    raise CRuntimeError(f"%s argument is not a string: {value!r}")
+
+
+def c_format(fmt: str, args: list[Any]) -> str:
+    """Render a printf format string against evaluated arguments."""
+    out: list[str] = []
+    pos = 0
+    arg_i = 0
+
+    def next_arg() -> Any:
+        nonlocal arg_i
+        if arg_i >= len(args):
+            raise CRuntimeError(f"printf: too few arguments for format {fmt!r}")
+        val = args[arg_i]
+        arg_i += 1
+        return val
+
+    for m in _FMT_RE.finditer(fmt):
+        out.append(fmt[pos : m.start()])
+        pos = m.end()
+        flags, width, prec, _length, conv = m.groups()
+        if conv == "%":
+            out.append("%")
+            continue
+        spec = "%" + (flags or "") + (width or "") + (f".{prec}" if prec else "")
+        if conv in "di":
+            out.append((spec + "d") % int(next_arg()))
+        elif conv == "u":
+            out.append((spec + "d") % (int(next_arg()) & 0xFFFFFFFF))
+        elif conv == "x":
+            out.append((spec + "x") % int(next_arg()))
+        elif conv in "fFeEgG":
+            out.append((spec + conv) % float(next_arg()))
+        elif conv == "c":
+            val = next_arg()
+            out.append(chr(int(val)) if not isinstance(val, str) else val[:1])
+        elif conv == "s":
+            out.append((spec + "s") % _as_str(next_arg()))
+    out.append(fmt[pos:])
+    return "".join(out)
+
+
+def _store_out(target: Any, value: Any) -> None:
+    if isinstance(target, (Ptr, ScalarRef)):
+        target.store(value)
+    else:
+        raise CRuntimeError(f"scanf target is not a pointer: {target!r}")
+
+
+def c_scan(stream: InputStream, fmt: str, args: list[Any]) -> int:
+    """Execute a scanf against the input stream. Returns the number of
+    successful conversions, or -1 on EOF before the first conversion."""
+    converted = 0
+    arg_i = 0
+    for m in _FMT_RE.finditer(fmt):
+        conv = m.group(5)
+        if conv == "%":
+            continue
+        if arg_i >= len(args):
+            raise CRuntimeError(f"scanf: too few arguments for format {fmt!r}")
+        target = args[arg_i]
+        arg_i += 1
+        if conv in "diu":
+            val = stream.read_int()
+            if val is None:
+                break
+            _store_out(target, val)
+        elif conv in "fFeEgG":
+            fval = stream.read_float()
+            if fval is None:
+                break
+            _store_out(target, fval)
+        elif conv == "s":
+            tok = stream.read_token()
+            if tok is None:
+                break
+            if isinstance(target, Ptr) and target.buffer is not None:
+                target.buffer.store_string(target.offset, tok)
+            else:
+                raise CRuntimeError("scanf %s target must be a char buffer")
+        elif conv == "c":
+            if stream.at_eof:
+                break
+            ch = stream.text[stream.pos]
+            stream.pos += 1
+            _store_out(target, ord(ch))
+        else:  # pragma: no cover - regex restricts conversions
+            raise CRuntimeError(f"unsupported scanf conversion %{conv}")
+        converted += 1
+    if converted == 0 and stream.at_eof:
+        return -1
+    return converted
+
+
+# --------------------------------------------------------------------------
+# Builtin implementations. Signature: fn(interp, args) -> value
+# --------------------------------------------------------------------------
+
+
+def _bi_printf(interp: "Interpreter", args: list[Any]) -> int:
+    if not args:
+        raise CRuntimeError("printf needs a format string")
+    text = c_format(_as_str(args[0]), args[1:])
+    interp.stdout.write(text)
+    return len(text)
+
+
+def _bi_scanf(interp: "Interpreter", args: list[Any]) -> int:
+    if not args:
+        raise CRuntimeError("scanf needs a format string")
+    return c_scan(interp.stdin, _as_str(args[0]), args[1:])
+
+
+def _bi_getline(interp: "Interpreter", args: list[Any]) -> int:
+    """``getline(&line, &nbytes, stdin)``: reads one line incl. newline."""
+    if len(args) < 2:
+        raise CRuntimeError("getline(&line, &n, stdin)")
+    line_ref, n_ref = args[0], args[1]
+    text = interp.stdin.read_line()
+    if text is None:
+        return -1
+    if not isinstance(line_ref, ScalarRef):
+        raise CRuntimeError("getline: first arg must be &line")
+    ptr = line_ref.deref()
+    needed = len(text.encode("utf-8")) + 1
+    if not isinstance(ptr, Ptr) or ptr.buffer is None:
+        buf = Buffer(T.CHAR, max(needed, 128), label="getline")
+        ptr = Ptr(buf, 0)
+        line_ref.store(ptr)
+    elif ptr.buffer.size - ptr.offset < needed:
+        ptr.buffer.resize(ptr.offset + needed)
+    written = ptr.buffer.store_string(ptr.offset, text)
+    if isinstance(n_ref, (ScalarRef, Ptr)):
+        n_ref.store(ptr.buffer.size)
+    return written
+
+
+def _bi_getword(interp: "Interpreter", args: list[Any]) -> int:
+    """``getWord(line, offset, word, read, maxLen)`` — the paper's helper.
+
+    Scans ``line`` starting at ``offset`` for the next whitespace-delimited
+    word, copies it (truncated to maxLen-1) into ``word``, and returns the
+    number of characters consumed from ``line`` (so the caller can advance
+    its offset), or -1 if no word remains within ``read`` bytes.
+    """
+    if len(args) != 5:
+        raise CRuntimeError("getWord(line, offset, word, read, maxLen)")
+    line, offset, word, read, max_len = args
+    if not isinstance(line, Ptr) or line.buffer is None:
+        raise CRuntimeError("getWord: line must be a char pointer")
+    if not isinstance(word, Ptr) or word.buffer is None:
+        raise CRuntimeError("getWord: word must be a char buffer")
+    offset = int(offset)
+    limit = min(int(read), line.buffer.size - line.offset)
+    i = offset
+    data = line.buffer.data
+    base = line.offset
+    # Skip leading whitespace.
+    while i < limit and data[base + i : base + i + 1] in (b" ", b"\t", b"\r", b"\n"):
+        i += 1
+    if i >= limit or data[base + i] == 0:
+        return -1
+    start = i
+    while i < limit and data[base + i] != 0 and \
+            data[base + i : base + i + 1] not in (b" ", b"\t", b"\r", b"\n"):
+        i += 1
+    token = bytes(data[base + start : base + i]).decode("utf-8", errors="replace")
+    token = token[: int(max_len) - 1]
+    word.buffer.store_string(word.offset, token)
+    return i - offset
+
+
+def _bi_malloc(interp: "Interpreter", args: list[Any]) -> Ptr:
+    size = int(args[0])
+    buf = Buffer(T.CHAR, size, label="malloc")
+    interp.heap.append(buf)
+    return Ptr(buf, 0)
+
+
+def _bi_free(interp: "Interpreter", args: list[Any]) -> int:
+    ptr = args[0]
+    if isinstance(ptr, Ptr) and ptr.buffer is not None:
+        if ptr.buffer.freed:
+            raise CRuntimeError("double free")
+        ptr.buffer.freed = True
+    return 0
+
+
+def _str_of(arg: Any) -> str:
+    return _as_str(arg)
+
+
+def _bi_strcmp(interp: "Interpreter", args: list[Any]) -> int:
+    a, b = _str_of(args[0]), _str_of(args[1])
+    return (a > b) - (a < b)
+
+
+def _bi_strncmp(interp: "Interpreter", args: list[Any]) -> int:
+    n = int(args[2])
+    a, b = _str_of(args[0])[:n], _str_of(args[1])[:n]
+    return (a > b) - (a < b)
+
+
+def _bi_strcpy(interp: "Interpreter", args: list[Any]) -> Any:
+    dst, src = args[0], _str_of(args[1])
+    if not isinstance(dst, Ptr) or dst.buffer is None:
+        raise CRuntimeError("strcpy: bad destination")
+    dst.buffer.store_string(dst.offset, src)
+    return dst
+
+
+def _bi_strlen(interp: "Interpreter", args: list[Any]) -> int:
+    return len(_str_of(args[0]))
+
+
+def _bi_strstr(interp: "Interpreter", args: list[Any]) -> Any:
+    """strstr(haystack, needle) → pointer to first match or NULL. Charges
+    compute at compiled-C scan rate (~1 op per 4 bytes scanned)."""
+    hay = args[0]
+    if not isinstance(hay, Ptr) or hay.buffer is None:
+        raise CRuntimeError("strstr: bad haystack")
+    text = hay.c_string()
+    needle = _str_of(args[1])
+    idx = text.find(needle)
+    scanned = len(text) if idx == -1 else idx + len(needle)
+    interp.counters.ops += max(1, scanned // 2)
+    if idx == -1:
+        from .values import NULL
+
+        return NULL
+    return Ptr(hay.buffer, hay.offset + len(text[:idx].encode("utf-8")))
+
+
+def _bi_strcat(interp: "Interpreter", args: list[Any]) -> Any:
+    dst = args[0]
+    if not isinstance(dst, Ptr) or dst.buffer is None:
+        raise CRuntimeError("strcat: bad destination")
+    existing = dst.buffer.c_string(dst.offset)
+    dst.buffer.store_string(dst.offset + len(existing.encode()), _str_of(args[1]))
+    return dst
+
+
+def _bi_atoi(interp: "Interpreter", args: list[Any]) -> int:
+    m = re.match(r"\s*[+-]?\d+", _str_of(args[0]))
+    return int(m.group(0)) if m else 0
+
+
+def _bi_atof(interp: "Interpreter", args: list[Any]) -> float:
+    m = re.match(r"\s*[+-]?(\d+\.?\d*|\.\d+)([eE][+-]?\d+)?", _str_of(args[0]))
+    return float(m.group(0)) if m else 0.0
+
+
+def _math1(fn: Callable[[float], float]) -> Callable[["Interpreter", list[Any]], float]:
+    def impl(interp: "Interpreter", args: list[Any]) -> float:
+        return fn(float(args[0]))
+
+    return impl
+
+
+def _bi_pow(interp: "Interpreter", args: list[Any]) -> float:
+    return float(args[0]) ** float(args[1])
+
+
+def _bi_fmin(interp: "Interpreter", args: list[Any]) -> float:
+    return min(float(args[0]), float(args[1]))
+
+
+def _bi_fmax(interp: "Interpreter", args: list[Any]) -> float:
+    return max(float(args[0]), float(args[1]))
+
+
+def _bi_abs(interp: "Interpreter", args: list[Any]) -> int:
+    return abs(int(args[0]))
+
+
+def _bi_isspace(interp: "Interpreter", args: list[Any]) -> int:
+    return int(chr(int(args[0])) in " \t\r\n\v\f")
+
+
+def _bi_isdigit(interp: "Interpreter", args: list[Any]) -> int:
+    return int(chr(int(args[0])).isdigit())
+
+
+def _bi_isalpha(interp: "Interpreter", args: list[Any]) -> int:
+    return int(chr(int(args[0])).isalpha())
+
+
+def _bi_tolower(interp: "Interpreter", args: list[Any]) -> int:
+    return ord(chr(int(args[0])).lower())
+
+
+def _bi_toupper(interp: "Interpreter", args: list[Any]) -> int:
+    return ord(chr(int(args[0])).upper())
+
+
+def host_builtins() -> dict[str, Callable[["Interpreter", list[Any]], Any]]:
+    """The CPU-path C library (what gcc + glibc provide in the paper)."""
+    return {
+        "printf": _bi_printf,
+        "fprintf": lambda i, a: _bi_printf(i, a[1:]),  # stderr folded to stdout
+        "scanf": _bi_scanf,
+        "getline": _bi_getline,
+        "getWord": _bi_getword,
+        "malloc": _bi_malloc,
+        "calloc": lambda i, a: _bi_malloc(i, [int(a[0]) * int(a[1])]),
+        "free": _bi_free,
+        "strcmp": _bi_strcmp,
+        "strncmp": _bi_strncmp,
+        "strcpy": _bi_strcpy,
+        "strlen": _bi_strlen,
+        "strcat": _bi_strcat,
+        "strstr": _bi_strstr,
+        "atoi": _bi_atoi,
+        "atof": _bi_atof,
+        "sqrt": _math1(math.sqrt),
+        "sqrtf": _math1(math.sqrt),
+        "exp": _math1(math.exp),
+        "expf": _math1(math.exp),
+        "log": _math1(lambda x: math.log(x)),
+        "logf": _math1(lambda x: math.log(x)),
+        "log2": _math1(math.log2),
+        "sin": _math1(math.sin),
+        "sinf": _math1(math.sin),
+        "cos": _math1(math.cos),
+        "cosf": _math1(math.cos),
+        "tan": _math1(math.tan),
+        "atan": _math1(math.atan),
+        "fabs": _math1(abs),
+        "fabsf": _math1(abs),
+        "floor": _math1(math.floor),
+        "ceil": _math1(math.ceil),
+        "erf": _math1(math.erf),
+        "erff": _math1(math.erf),
+        "pow": _bi_pow,
+        "powf": _bi_pow,
+        "fmin": _bi_fmin,
+        "fmax": _bi_fmax,
+        "abs": _bi_abs,
+        "isspace": _bi_isspace,
+        "isdigit": _bi_isdigit,
+        "isalpha": _bi_isalpha,
+        "tolower": _bi_tolower,
+        "toupper": _bi_toupper,
+        "exit": lambda i, a: (_ for _ in ()).throw(CRuntimeError(f"exit({int(a[0])})")),
+    }
+
+
+#: Names the HeteroDoop compiler recognises as record-input, KV-emit, and
+#: KV-input calls (paper §4.1–4.2). Used by the translator's IO-replacement
+#: pass.
+RECORD_INPUT_FUNCS = frozenset(["getline"])
+KV_EMIT_FUNCS = frozenset(["printf"])
+KV_INPUT_FUNCS = frozenset(["scanf"])

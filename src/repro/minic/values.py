@@ -1,0 +1,183 @@
+"""Runtime value model for mini-C execution.
+
+Scalars are Python ints/floats held in :class:`Cell` slots. Arrays and
+malloc'ed storage are :class:`Buffer` objects; pointers are
+(:class:`Buffer`, offset) pairs. ``&scalar`` yields a :class:`ScalarRef`
+so ``scanf``-style out-parameters work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import CRuntimeError
+from . import ctypes as T
+
+
+@dataclass
+class Cell:
+    """A mutable variable slot."""
+
+    value: Any = 0
+    ctype: T.CType = T.INT
+
+
+class Buffer:
+    """Contiguous typed storage; char buffers use a bytearray."""
+
+    __slots__ = ("elem_type", "data", "size", "label", "freed", "space",
+                 "inner_dim")
+
+    def __init__(self, elem_type: T.CType, size: int, label: str = "",
+                 space: str | None = None):
+        # For flattened 2-D arrays: the row length (columns); indexing the
+        # buffer once yields a row pointer with this stride.
+        self.inner_dim: int | None = None
+        if size < 0:
+            raise CRuntimeError(f"negative buffer size {size}")
+        self.elem_type = elem_type
+        self.size = size
+        self.label = label
+        self.freed = False
+        # GPU memory space tag ('global' | 'texture' | 'shared' | 'private'
+        # | None for host memory); the GPU executor charges accesses by it.
+        self.space = space
+        if elem_type == T.CHAR:
+            self.data: Any = bytearray(size)
+        elif elem_type.is_float:
+            self.data = [0.0] * size
+        else:
+            self.data = [0] * size
+
+    @classmethod
+    def from_string(cls, text: str) -> "Buffer":
+        """A NUL-terminated char buffer holding ``text``."""
+        raw = text.encode("utf-8", errors="replace")
+        buf = cls(T.CHAR, len(raw) + 1, label="strlit")
+        buf.data[: len(raw)] = raw
+        return buf
+
+    def _check(self, index: int) -> None:
+        if self.freed:
+            raise CRuntimeError(f"use-after-free on buffer {self.label!r}")
+        if not 0 <= index < self.size:
+            raise CRuntimeError(
+                f"out-of-bounds access: index {index} on buffer "
+                f"{self.label!r} of size {self.size}"
+            )
+
+    def read(self, index: int) -> Any:
+        self._check(index)
+        return self.data[index]
+
+    def write(self, index: int, value: Any) -> None:
+        self._check(index)
+        if self.elem_type == T.CHAR:
+            self.data[index] = int(value) & 0xFF
+        elif self.elem_type.is_float:
+            self.data[index] = float(value)
+        elif self.elem_type.is_integer:
+            self.data[index] = int(value)
+        else:
+            self.data[index] = value
+
+    def resize(self, new_size: int) -> None:
+        """Grow the buffer (getline's realloc behaviour)."""
+        if new_size <= self.size:
+            return
+        if self.elem_type == T.CHAR:
+            self.data.extend(b"\0" * (new_size - self.size))
+        else:
+            filler = 0.0 if self.elem_type.is_float else 0
+            self.data.extend([filler] * (new_size - self.size))
+        self.size = new_size
+
+    def c_string(self, start: int = 0) -> str:
+        """Decode a NUL-terminated string beginning at ``start``."""
+        if self.elem_type != T.CHAR:
+            raise CRuntimeError("c_string on non-char buffer")
+        self._check(start) if self.size else None
+        end = self.data.find(b"\0", start)
+        if end == -1:
+            end = self.size
+        return self.data[start:end].decode("utf-8", errors="replace")
+
+    def store_string(self, start: int, text: str) -> int:
+        """Store ``text`` + NUL at ``start``; returns bytes written (excl NUL)."""
+        raw = text.encode("utf-8", errors="replace")
+        needed = start + len(raw) + 1
+        if needed > self.size:
+            raise CRuntimeError(
+                f"string of {len(raw)} bytes overflows buffer "
+                f"{self.label!r} (size {self.size}, offset {start})"
+            )
+        self.data[start : start + len(raw)] = raw
+        self.data[start + len(raw)] = 0
+        return len(raw)
+
+    def __repr__(self) -> str:
+        return f"Buffer({self.elem_type}, size={self.size}, label={self.label!r})"
+
+
+@dataclass(frozen=True)
+class Ptr:
+    """A typed pointer into a :class:`Buffer` (or NULL when buffer is None).
+
+    ``stride`` > 1 marks a row pointer into a flattened 2-D array: one
+    more index step multiplies by the stride before reaching elements.
+    """
+
+    buffer: Buffer | None
+    offset: int = 0
+    stride: int = 1
+
+    @property
+    def is_null(self) -> bool:
+        return self.buffer is None
+
+    def deref(self) -> Any:
+        if self.buffer is None:
+            raise CRuntimeError("null pointer dereference")
+        return self.buffer.read(self.offset)
+
+    def store(self, value: Any) -> None:
+        if self.buffer is None:
+            raise CRuntimeError("store through null pointer")
+        self.buffer.write(self.offset, value)
+
+    def add(self, delta: int) -> "Ptr":
+        return Ptr(self.buffer, self.offset + int(delta) * self.stride, self.stride)
+
+    def c_string(self) -> str:
+        if self.buffer is None:
+            raise CRuntimeError("c_string on null pointer")
+        return self.buffer.c_string(self.offset)
+
+
+NULL = Ptr(None, 0)
+
+
+@dataclass(frozen=True)
+class ScalarRef:
+    """Address of a scalar variable (``&x``)."""
+
+    cell: Cell
+
+    def deref(self) -> Any:
+        return self.cell.value
+
+    def store(self, value: Any) -> None:
+        if self.cell.ctype.is_float:
+            self.cell.value = float(value)
+        elif self.cell.ctype.is_integer:
+            self.cell.value = int(value)
+        else:
+            self.cell.value = value
+
+
+def truthy(value: Any) -> bool:
+    """C truthiness for ints, floats, and pointers."""
+    if isinstance(value, Ptr):
+        return value.buffer is not None
+    return bool(value)

@@ -1,0 +1,28 @@
+"""HeteroDoop runtime system (paper §5).
+
+* :mod:`repro.runtime.records` — record locator/counter kernel and
+  ``getRecord`` support,
+* :mod:`repro.runtime.seqfile` — the Hadoop-compatible binary output
+  format (SequenceFile) with checksums,
+* :mod:`repro.runtime.gpu_task` — the full GPU task pipeline of Fig. 1,
+  producing the Fig. 6 per-phase breakdown,
+* :mod:`repro.runtime.gpu_driver` — the per-node GPU driver that fetches
+  tasks from the TaskTracker, serializes kernel launches per device, and
+  survives task/thread failures (§5.1).
+"""
+
+from .records import RecordLocator, locate_records
+from .seqfile import SequenceFileReader, SequenceFileWriter
+from .gpu_task import GpuTaskBreakdown, GpuTaskResult, GpuTaskRunner
+from .gpu_driver import GpuDriver
+
+__all__ = [
+    "RecordLocator",
+    "locate_records",
+    "SequenceFileReader",
+    "SequenceFileWriter",
+    "GpuTaskBreakdown",
+    "GpuTaskResult",
+    "GpuTaskRunner",
+    "GpuDriver",
+]

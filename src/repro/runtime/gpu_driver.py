@@ -1,0 +1,117 @@
+"""The per-node GPU driver (paper §5.1 "Hadoop Integration and Fault
+Tolerance").
+
+TaskTrackers keep one slot reserved per GPU; tasks issued to those slots
+are handed to this driver, which runs one logical thread per device and
+guarantees a single task per GPU at a time. Failures are contained: a
+task failure is reported back (so Hadoop reschedules it), the device is
+revived, and the driver thread restarts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..errors import GpuError, ReproError, TaskFailure
+from ..gpu.device import GpuDevice
+
+
+@dataclass
+class DriverThreadState:
+    """Bookkeeping for one device's driver thread."""
+
+    device: GpuDevice
+    tasks_completed: int = 0
+    failures: int = 0
+    restarts: int = 0
+    busy: bool = False
+    log: list[str] = field(default_factory=list)
+
+
+@dataclass
+class TaskCompletion:
+    """What the driver reports to the TaskTracker on completion
+    ('execution time, task log, etc.')."""
+
+    task_id: str
+    device_id: int
+    seconds: float
+    succeeded: bool
+    result: Any = None
+    error: str | None = None
+
+
+class GpuDriver:
+    """Runs GPU tasks on a node's devices, one at a time per device."""
+
+    def __init__(self, devices: list[GpuDevice]):
+        if not devices:
+            raise GpuError("GPU driver needs at least one device")
+        self.threads = {d.device_id: DriverThreadState(device=d) for d in devices}
+        self.completions: list[TaskCompletion] = []
+
+    @property
+    def num_gpus(self) -> int:
+        return len(self.threads)
+
+    def free_devices(self) -> list[int]:
+        return [i for i, t in self.threads.items() if not t.busy]
+
+    def run_task(
+        self,
+        task_id: str,
+        work: Callable[[GpuDevice], Any],
+        device_id: int | None = None,
+        seconds_of: Callable[[Any], float] = lambda r: getattr(r, "seconds", 0.0),
+    ) -> TaskCompletion:
+        """Execute ``work(device)`` on a free device.
+
+        Library failures (:class:`ReproError`) are contained per §5.1:
+        the completion records the error, the device is revived so future
+        tasks can be issued to it, and the driver thread restarts. The
+        TaskTracker sees ``succeeded=False`` and lets Hadoop reschedule.
+        """
+        if device_id is None:
+            free = self.free_devices()
+            if not free:
+                raise GpuError("all GPUs busy: driver admits one task per GPU")
+            device_id = free[0]
+        state = self.threads.get(device_id)
+        if state is None:
+            raise GpuError(f"no such device {device_id}")
+        if state.busy:
+            raise GpuError(
+                f"device {device_id} already running a task; the driver "
+                "assures that only a single task runs on the GPU at a time"
+            )
+        state.busy = True
+        try:
+            result = work(state.device)
+        except ReproError as exc:
+            state.failures += 1
+            state.device.reset()       # revive the failed GPU
+            state.restarts += 1        # restart the driver thread
+            state.log.append(f"{task_id}: FAILED ({exc})")
+            completion = TaskCompletion(
+                task_id=task_id,
+                device_id=device_id,
+                seconds=0.0,
+                succeeded=False,
+                error=str(exc),
+            )
+            self.completions.append(completion)
+            return completion
+        finally:
+            state.busy = False
+        state.tasks_completed += 1
+        state.log.append(f"{task_id}: OK")
+        completion = TaskCompletion(
+            task_id=task_id,
+            device_id=device_id,
+            seconds=seconds_of(result),
+            succeeded=True,
+            result=result,
+        )
+        self.completions.append(completion)
+        return completion

@@ -1,0 +1,65 @@
+"""Record location and counting (paper §5.2 "Record Handling").
+
+Records in an input fileSplit must be pre-determined to support record
+stealing: a GPU kernel scans the split once, builds the ``recordLocator``
+(starting offset of every record) and counts them, before the map kernel
+launches. The default record is a line of input (§3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import GpuSpec
+from ..gpu.timing import MAX_MLP
+
+
+@dataclass
+class RecordLocator:
+    """Result of the record-locator kernel."""
+
+    records: list[bytes] = field(default_factory=list)
+    offsets: list[int] = field(default_factory=list)
+    total_bytes: int = 0
+    cycles: float = 0.0
+
+    @property
+    def count(self) -> int:
+        return len(self.records)
+
+    @property
+    def max_record_bytes(self) -> int:
+        return max((len(r) for r in self.records), default=0)
+
+    @property
+    def skew(self) -> float:
+        """max/mean record length — drives record-stealing benefit."""
+        if not self.records:
+            return 1.0
+        mean = self.total_bytes / len(self.records)
+        return self.max_record_bytes / mean if mean else 1.0
+
+
+def locate_records(data: bytes, spec: GpuSpec) -> RecordLocator:
+    """Scan the split, splitting on newlines. A trailing unterminated line
+    still forms a record (Hadoop's LineRecordReader behaviour)."""
+    records: list[bytes] = []
+    offsets: list[int] = []
+    start = 0
+    n = len(data)
+    while start < n:
+        end = data.find(b"\n", start)
+        if end == -1:
+            end = n
+        if end > start:  # skip empty lines, as getline-driven maps do
+            records.append(data[start:end])
+            offsets.append(start)
+        start = end + 1
+    # One coalesced pass over the split + one atomic per record found.
+    txns = max(1.0, n / spec.transaction_bytes)
+    parallel = spec.num_sms * MAX_MLP
+    cycles = (txns * spec.global_mem_cycles) / parallel \
+        + len(records) * spec.global_atomic_cycles / parallel
+    return RecordLocator(
+        records=records, offsets=offsets, total_bytes=n, cycles=cycles
+    )

@@ -1,0 +1,124 @@
+"""Hadoop-compatible binary output format (paper §5.2 "File Handling").
+
+The map+combine output is written to the local disk in a
+SequenceFile-style container: a magic header, length-prefixed key/value
+records, periodic sync markers, and a CRC32 checksum trailer — enough
+structure to exercise the paper's 'formatting the generated GPU output in
+Hadoop binary format, calculating the checksum' output-write path
+(Fig. 6) and to round-trip through the shuffle.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Any, Iterator
+
+from ..errors import ReproError
+
+MAGIC = b"SEQ\x06repro"
+SYNC_INTERVAL = 2000  # records between sync markers
+_SYNC = b"\xfe\xed\xfa\xce" * 4
+
+
+class SeqFileError(ReproError):
+    pass
+
+
+def _encode_datum(value: Any) -> bytes:
+    if isinstance(value, bytes):
+        return b"B" + value
+    if isinstance(value, str):
+        return b"S" + value.encode("utf-8")
+    if isinstance(value, bool):
+        return b"I" + struct.pack("<q", int(value))
+    if isinstance(value, int):
+        return b"I" + struct.pack("<q", value)
+    if isinstance(value, float):
+        return b"F" + struct.pack("<d", value)
+    raise SeqFileError(f"cannot serialize {type(value).__name__}")
+
+
+def _decode_datum(raw: bytes) -> Any:
+    tag, body = raw[:1], raw[1:]
+    if tag == b"B":
+        return body
+    if tag == b"S":
+        return body.decode("utf-8")
+    if tag == b"I":
+        return struct.unpack("<q", body)[0]
+    if tag == b"F":
+        return struct.unpack("<d", body)[0]
+    raise SeqFileError(f"bad datum tag {tag!r}")
+
+
+class SequenceFileWriter:
+    """Serializes KV pairs into an in-memory SequenceFile image."""
+
+    def __init__(self) -> None:
+        self._chunks: list[bytes] = [MAGIC]
+        self._count = 0
+        self._crc = zlib.crc32(MAGIC)
+
+    def append(self, key: Any, value: Any) -> None:
+        k = _encode_datum(key)
+        v = _encode_datum(value)
+        record = struct.pack("<II", len(k), len(v)) + k + v
+        if self._count and self._count % SYNC_INTERVAL == 0:
+            self._chunks.append(_SYNC)
+            self._crc = zlib.crc32(_SYNC, self._crc)
+        self._chunks.append(record)
+        self._crc = zlib.crc32(record, self._crc)
+        self._count += 1
+
+    def extend(self, pairs) -> None:
+        for key, value in pairs:
+            self.append(key, value)
+
+    def finish(self) -> bytes:
+        trailer = struct.pack("<II", 0xFFFFFFFF, self._crc & 0xFFFFFFFF)
+        return b"".join(self._chunks) + trailer
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+
+class SequenceFileReader:
+    """Reads a SequenceFile image, verifying the checksum trailer."""
+
+    def __init__(self, data: bytes):
+        if not data.startswith(MAGIC):
+            raise SeqFileError("bad magic: not a SequenceFile image")
+        if len(data) < len(MAGIC) + 8:
+            raise SeqFileError("truncated SequenceFile")
+        marker, crc = struct.unpack("<II", data[-8:])
+        if marker != 0xFFFFFFFF:
+            raise SeqFileError("missing trailer marker")
+        body = data[:-8]
+        if zlib.crc32(body) & 0xFFFFFFFF != crc:
+            raise SeqFileError("checksum mismatch: corrupted SequenceFile")
+        self._body = body
+        self._pos = len(MAGIC)
+
+    def __iter__(self) -> Iterator[tuple[Any, Any]]:
+        pos = len(MAGIC)
+        body = self._body
+        while pos < len(body):
+            if body[pos : pos + len(_SYNC)] == _SYNC:
+                pos += len(_SYNC)
+                continue
+            if pos + 8 > len(body):
+                raise SeqFileError("truncated record header")
+            klen, vlen = struct.unpack_from("<II", body, pos)
+            pos += 8
+            if pos + klen + vlen > len(body):
+                raise SeqFileError("truncated record body")
+            key = _decode_datum(body[pos : pos + klen])
+            pos += klen
+            value = _decode_datum(body[pos : pos + vlen])
+            pos += vlen
+            yield key, value
+
+    def read_all(self) -> list[tuple[Any, Any]]:
+        return list(self)

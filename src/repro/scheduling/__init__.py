@@ -1,0 +1,13 @@
+"""Scheduling policies for heterogeneous CPU+GPU clusters (paper §6).
+
+* :mod:`repro.scheduling.gpu_first` — the simplistic baseline: a new task
+  goes to a GPU if one is free, otherwise to a CPU slot.
+* :mod:`repro.scheduling.tail` — HeteroDoop's tail scheduling
+  (Algorithm 2): near the end of the job, remaining tasks are forced onto
+  GPUs so the fast devices never idle while slow CPU stragglers finish.
+"""
+
+from .gpu_first import GpuFirstPolicy
+from .tail import TailPolicy, SchedulingPolicy, CpuOnlyPolicy
+
+__all__ = ["SchedulingPolicy", "GpuFirstPolicy", "TailPolicy", "CpuOnlyPolicy"]

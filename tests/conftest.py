@@ -1,0 +1,84 @@
+"""Shared fixtures: paper listings, devices, small workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CLUSTER1, CLUSTER2
+from repro.costmodel.io import IoModel
+from repro.gpu.device import GpuDevice
+
+# The paper's Listing 1 (Wordcount map) verbatim in our dialect.
+WORDCOUNT_MAP = r'''
+int main()
+{
+    char word[30], *line;
+    size_t nbytes = 10000;
+    int read, linePtr, offset, one;
+    line = (char*) malloc(nbytes*sizeof(char));
+    #pragma mapreduce mapper key(word) value(one) keylength(30) kvpairs(20)
+    while( (read = getline(&line, &nbytes, stdin)) != -1) {
+        linePtr = 0;
+        offset = 0;
+        one = 1;
+        while( (linePtr = getWord(line, offset, word, read, 30)) != -1) {
+            printf("%s\t%d\n", word, one);
+            offset += linePtr;
+        }
+    }
+    free(line);
+    return 0;
+}
+'''
+
+# The paper's Listing 2 (Wordcount combine).
+WORDCOUNT_COMBINE = r'''
+int main()
+{
+    char word[30], prevWord[30]; prevWord[0] = '\0';
+    int count, val, read; count = 0;
+    #pragma mapreduce combiner key(prevWord) value(count) \
+        keyin(word) valuein(val) keylength(30) vallength(4) \
+        firstprivate(prevWord, count)
+    {
+        while( (read = scanf("%s %d", word, &val)) == 2 ) {
+            if(strcmp(word, prevWord) == 0 ) {
+                count += val;
+            } else {
+                if(prevWord[0] != '\0')
+                    printf("%s\t%d\n", prevWord, count);
+                strcpy(prevWord, word);
+                count = val;
+            }
+        }
+        if(prevWord[0] != '\0')
+            printf("%s\t%d\n", prevWord, count);
+    }
+    return 0;
+}
+'''
+
+
+@pytest.fixture
+def wc_map_source() -> str:
+    return WORDCOUNT_MAP
+
+
+@pytest.fixture
+def wc_combine_source() -> str:
+    return WORDCOUNT_COMBINE
+
+
+@pytest.fixture
+def k40_device() -> GpuDevice:
+    return GpuDevice(CLUSTER1.gpu)
+
+
+@pytest.fixture
+def m2090_device() -> GpuDevice:
+    return GpuDevice(CLUSTER2.gpu)
+
+
+@pytest.fixture
+def cluster1_io() -> IoModel:
+    return IoModel.for_cluster(CLUSTER1)

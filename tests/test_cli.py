@@ -1,0 +1,70 @@
+"""CLI tests (``python -m repro ...``)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_translate_requires_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["translate"])
+
+
+class TestCommands:
+    def test_apps_lists_all_eight(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        for tag in ("GR", "HS", "WC", "HR", "LR", "KM", "CL", "BS"):
+            assert tag in out
+
+    def test_translate_app(self, capsys):
+        assert main(["translate", "--app", "WC"]) == 0
+        out = capsys.readouterr().out
+        assert "__global__ void gpu_mapper" in out
+        assert "Algorithm 1" in out
+
+    def test_translate_file(self, tmp_path, capsys):
+        src = tmp_path / "map.c"
+        src.write_text("""
+int main() {
+    char *line; size_t n; int read, k, v;
+    n = 64; line = (char*) malloc(64);
+    #pragma mapreduce mapper key(k) value(v)
+    while ( (read = getline(&line, &n, stdin)) != -1 ) {
+        k = 1; v = 1; printf("%d\\t%d\\n", k, v);
+    }
+    return 0;
+}
+""")
+        assert main(["translate", "--file", str(src)]) == 0
+        assert "gpu_mapper" in capsys.readouterr().out
+
+    def test_run_small_job(self, capsys):
+        assert main(["run", "HS", "--records", "80", "--split-kb", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "map tasks" in out and "final keys" in out
+
+    def test_run_cpu_only(self, capsys):
+        assert main(["run", "HS", "--records", "50", "--cpu-only"]) == 0
+        assert "CPU (Hadoop Streaming)" in capsys.readouterr().out
+
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "kvpairs" in capsys.readouterr().out
+
+    def test_experiment_fig3(self, capsys):
+        assert main(["experiment", "fig3"]) == 0
+        assert "makespan" in capsys.readouterr().out
+
+    def test_unknown_experiment_fails_cleanly(self, capsys):
+        assert main(["experiment", "fig99"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_app_fails_cleanly(self, capsys):
+        assert main(["run", "XX"]) == 1
+        assert "error:" in capsys.readouterr().err

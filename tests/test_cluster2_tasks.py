@@ -1,0 +1,44 @@
+"""Cluster2 single-task sanity: Fermi parts and weaker Xeons shift both
+sides of the ratio; the compute-intensity ordering must survive."""
+
+import pytest
+
+from repro.config import CLUSTER1, CLUSTER2
+from repro.experiments.calibrate import single_task_times
+
+
+class TestCluster2Calibration:
+    def test_m2090_kernel_slower_than_k40(self):
+        # Whole-task times can FALL on Cluster2 (in-memory IO), so compare
+        # the map *kernel* stage, where the Fermi part's weaker throughput
+        # must show.
+        for app in ("WC", "CL", "BS"):
+            c1 = single_task_times(app, CLUSTER1)
+            c2 = single_task_times(app, CLUSTER2)
+            assert c2.gpu_breakdown.map > c1.gpu_breakdown.map
+
+    def test_ordering_survives_on_cluster2(self):
+        order = ["GR", "HS", "WC", "HR", "LR", "KM", "CL", "BS"]
+        speedups = []
+        for app in order:
+            if app == "KM":
+                continue  # NA on Cluster2 (memory floor applies elsewhere)
+            speedups.append(single_task_times(app, CLUSTER2).gpu_speedup)
+        # Strictness relaxed: Cluster2's in-memory IO reshuffles the
+        # IO-intensive apps, but compute-intensive still dominate.
+        assert max(speedups) in speedups[-2:]          # CL or BS on top
+        assert min(speedups[-2:]) > max(speedups[:3])  # CL/BS > GR/HS/WC
+
+    def test_in_memory_io_lifts_io_apps(self):
+        """Cluster2's RAM-backed storage makes IO-intensive tasks less
+        IO-bound (paper §7.3's explanation for larger C2 speedups)."""
+        c1 = single_task_times("GR", CLUSTER1)
+        c2 = single_task_times("GR", CLUSTER2)
+        share1 = c1.gpu_breakdown.input_read / c1.gpu_breakdown.total
+        share2 = c2.gpu_breakdown.input_read / c2.gpu_breakdown.total
+        assert share2 < share1
+
+    def test_scaled_durations_positive(self):
+        for app in ("HS", "LR", "BS"):
+            cpu_s, gpu_s = single_task_times(app, CLUSTER2).scaled(60.0)
+            assert cpu_s == 60.0 and 0 < gpu_s < 60.0

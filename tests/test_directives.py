@@ -1,0 +1,134 @@
+"""Directive parsing tests (paper §3, Table 1)."""
+
+import pytest
+
+from repro.directives import (
+    CLAUSES,
+    DirectiveKind,
+    find_directives,
+    parse_directive,
+)
+from repro.errors import DirectiveError
+from repro.minic import parse
+
+
+class TestBasicParsing:
+    def test_mapper_with_key_value(self):
+        d = parse_directive("#pragma mapreduce mapper key(word) value(one)")
+        assert d.kind is DirectiveKind.MAPPER
+        assert d.key == "word" and d.value == "one"
+
+    def test_combiner_requires_keyin_valuein(self):
+        d = parse_directive(
+            "#pragma mapreduce combiner key(prevWord) value(count) "
+            "keyin(word) valuein(val)"
+        )
+        assert d.kind is DirectiveKind.COMBINER
+        assert d.keyin == "word" and d.valuein == "val"
+
+    def test_integer_clauses(self):
+        d = parse_directive(
+            "#pragma mapreduce mapper key(k) value(v) keylength(30) "
+            "vallength(4) kvpairs(20) blocks(60) threads(128)"
+        )
+        assert d.keylength == 30 and d.vallength == 4
+        assert d.kvpairs == 20 and d.blocks == 60 and d.threads == 128
+
+    def test_integer_clause_accepts_variable_name(self):
+        d = parse_directive("#pragma mapreduce mapper key(k) value(v) kvpairs(n)")
+        assert d.kvpairs == "n"
+
+    def test_variable_list_clauses(self):
+        d = parse_directive(
+            "#pragma mapreduce mapper key(k) value(v) "
+            "firstprivate(a, b, c) sharedRO(x) texture(t1, t2)"
+        )
+        assert d.firstprivate == ["a", "b", "c"]
+        assert d.shared_ro == ["x"]
+        assert d.texture == ["t1", "t2"]
+
+    def test_paper_listing1_directive(self):
+        d = parse_directive("#pragma mapreduce mapper key(word) value(one)")
+        assert d.is_mapper and not d.is_combiner
+
+
+class TestValidation:
+    def test_missing_key_raises(self):
+        with pytest.raises(DirectiveError, match="requires key"):
+            parse_directive("#pragma mapreduce mapper value(v)")
+
+    def test_missing_value_raises(self):
+        with pytest.raises(DirectiveError, match="requires value"):
+            parse_directive("#pragma mapreduce mapper key(k)")
+
+    def test_combiner_missing_keyin_raises(self):
+        with pytest.raises(DirectiveError, match="keyin"):
+            parse_directive("#pragma mapreduce combiner key(k) value(v)")
+
+    def test_kvpairs_on_combiner_rejected(self):
+        with pytest.raises(DirectiveError, match="kvpairs"):
+            parse_directive(
+                "#pragma mapreduce combiner key(k) value(v) keyin(a) "
+                "valuein(b) kvpairs(5)"
+            )
+
+    def test_keyin_on_mapper_rejected(self):
+        with pytest.raises(DirectiveError):
+            parse_directive("#pragma mapreduce mapper key(k) value(v) keyin(a)")
+
+    def test_unknown_directive_kind(self):
+        with pytest.raises(DirectiveError, match="unknown directive"):
+            parse_directive("#pragma mapreduce reducer key(k) value(v)")
+
+    def test_unknown_clause(self):
+        with pytest.raises(DirectiveError, match="unknown clause"):
+            parse_directive("#pragma mapreduce mapper key(k) value(v) frobnicate(x)")
+
+    def test_duplicate_clause(self):
+        with pytest.raises(DirectiveError, match="duplicate"):
+            parse_directive("#pragma mapreduce mapper key(k) key(j) value(v)")
+
+    def test_nonpositive_integer_rejected(self):
+        with pytest.raises(DirectiveError, match="positive"):
+            parse_directive("#pragma mapreduce mapper key(k) value(v) kvpairs(0)")
+
+    def test_sharedro_firstprivate_overlap_rejected(self):
+        with pytest.raises(DirectiveError, match="both"):
+            parse_directive(
+                "#pragma mapreduce mapper key(k) value(v) "
+                "sharedRO(x) firstprivate(x)"
+            )
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(DirectiveError):
+            parse_directive("#pragma mapreduce mapper key(k) value(v) @@@")
+
+    def test_not_mapreduce_pragma(self):
+        with pytest.raises(DirectiveError, match="not a mapreduce"):
+            parse_directive("#pragma omp parallel for")
+
+
+class TestTable1Catalogue:
+    def test_all_paper_clauses_present(self):
+        expected = {
+            "key", "value", "keyin", "valuein", "keylength", "vallength",
+            "firstprivate", "sharedRO", "texture", "kvpairs", "blocks",
+            "threads",
+        }
+        assert set(CLAUSES) == expected
+
+    def test_optional_flags_match_table1(self):
+        optional = {name for name, spec in CLAUSES.items() if spec.optional}
+        assert optional == {"sharedRO", "texture", "kvpairs", "blocks", "threads"}
+
+
+class TestFindDirectives:
+    def test_finds_in_program(self, wc_map_source):
+        found = find_directives(parse(wc_map_source))
+        assert len(found) == 1
+        directive, region, func = found[0]
+        assert directive.is_mapper and func.name == "main"
+
+    def test_ignores_non_mapreduce_pragmas(self):
+        src = "int main() {\n#pragma once\nint x;\nreturn 0;\n}"
+        assert find_directives(parse(src)) == []

@@ -1,0 +1,86 @@
+"""GPU sort (indirection merge sort) and scan cost-model tests."""
+
+import pytest
+
+from repro.config import TESLA_K40
+from repro.gpu.scan import reindex_cycles, scan_cycles
+from repro.gpu.sort import sort_partition
+from repro.kvstore import KVPair
+
+
+def pairs_of(keys):
+    return [KVPair(k, 1, 0) for k in keys]
+
+
+class TestSortFunctional:
+    def test_sorts_string_keys(self):
+        result = sort_partition(pairs_of(["b", "a", "c"]), span=3,
+                                key_length=30, spec=TESLA_K40)
+        assert [p.key for p in result.pairs] == ["a", "b", "c"]
+
+    def test_sorts_int_keys(self):
+        result = sort_partition(pairs_of([5, 1, 3]), span=3,
+                                key_length=4, spec=TESLA_K40)
+        assert [p.key for p in result.pairs] == [1, 3, 5]
+
+    def test_stable_for_equal_keys(self):
+        pairs = [KVPair("k", i, 0) for i in range(5)]
+        result = sort_partition(pairs, span=5, key_length=4, spec=TESLA_K40)
+        assert [p.value for p in result.pairs] == [0, 1, 2, 3, 4]
+
+    def test_mixed_numeric_keys(self):
+        result = sort_partition(pairs_of([2.5, 1, 3]), span=3,
+                                key_length=8, spec=TESLA_K40)
+        assert [p.key for p in result.pairs] == [1, 2.5, 3]
+
+    def test_empty_partition(self):
+        result = sort_partition([], span=0, key_length=4, spec=TESLA_K40)
+        assert result.pairs == []
+
+
+class TestSortCost:
+    def test_cost_superlinear_in_span(self):
+        small = sort_partition(pairs_of(range(10)), span=100,
+                               key_length=4, spec=TESLA_K40)
+        large = sort_partition(pairs_of(range(10)), span=10_000,
+                               key_length=4, spec=TESLA_K40)
+        assert large.cycles > 50 * small.cycles
+
+    def test_whitespace_span_costs_more_than_dense(self):
+        # Fig. 7e's mechanism: same pairs, bigger traversal without
+        # aggregation.
+        dense = sort_partition(pairs_of(range(100)), span=100,
+                               key_length=4, spec=TESLA_K40)
+        sparse = sort_partition(pairs_of(range(100)), span=1000,
+                                key_length=4, spec=TESLA_K40)
+        assert sparse.cycles > 5 * dense.cycles
+
+    def test_long_keys_cost_more(self):
+        short = sort_partition(pairs_of(["k"] * 100), span=100,
+                               key_length=4, spec=TESLA_K40)
+        long = sort_partition(pairs_of(["k"] * 100), span=100,
+                              key_length=256, spec=TESLA_K40)
+        assert long.cycles > short.cycles
+
+
+class TestScan:
+    def test_zero_elements_free(self):
+        assert scan_cycles(0, TESLA_K40) == 0.0
+
+    def test_scan_roughly_linear(self):
+        c1 = scan_cycles(10_000, TESLA_K40)
+        c2 = scan_cycles(20_000, TESLA_K40)
+        assert 1.5 < c2 / c1 < 3.0
+
+    def test_reindex_linear_in_pairs(self):
+        c1 = reindex_cycles(1000, TESLA_K40)
+        c2 = reindex_cycles(2000, TESLA_K40)
+        assert c2 == pytest.approx(2 * c1)
+
+    def test_scan_cheap_relative_to_sort(self):
+        # Fig. 6: 'partition aggregation times are negligible'.
+        n = 100_000
+        agg = scan_cycles(7680, TESLA_K40) + reindex_cycles(n, TESLA_K40)
+        sort = sort_partition(pairs_of(range(1000)), span=n,
+                              key_length=30, spec=TESLA_K40).cycles
+        assert agg < sort / 10

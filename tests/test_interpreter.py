@@ -1,0 +1,229 @@
+"""Interpreter tests: C semantics, memory safety, control flow, IO."""
+
+import pytest
+
+from repro.errors import CRuntimeError
+from repro.minic import parse
+from repro.minic.interpreter import Interpreter, run_filter
+
+
+def run(source: str, stdin: str = "") -> str:
+    out, _counters = run_filter(parse(source), stdin)
+    return out
+
+
+def run_main(body: str, stdin: str = "") -> str:
+    return run("int main() {\n" + body + "\nreturn 0;\n}", stdin)
+
+
+class TestArithmetic:
+    def test_integer_division_truncates_toward_zero(self):
+        assert run_main('printf("%d %d", 7/2, -7/2);') == "3 -3"
+
+    def test_modulo_sign_follows_dividend(self):
+        assert run_main('printf("%d %d", 7%3, -7%3);') == "1 -1"
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(CRuntimeError, match="division by zero"):
+            run_main("int x; x = 1/0;")
+
+    def test_float_arithmetic(self):
+        assert run_main('printf("%.2f", 1.0/4.0);') == "0.25"
+
+    def test_mixed_int_float_promotes(self):
+        assert run_main('printf("%.1f", 3/2.0);') == "1.5"
+
+    def test_bitwise_and_shifts(self):
+        assert run_main('printf("%d %d %d", 6&3, 6|1, 1<<4);') == "2 7 16"
+
+    def test_comparison_yields_int(self):
+        assert run_main('printf("%d %d", 3 < 5, 5 < 3);') == "1 0"
+
+    def test_logical_short_circuit(self):
+        # Division by zero on the right must not be evaluated.
+        assert run_main('printf("%d", 0 && 1/0);') == "0"
+        assert run_main('printf("%d", 1 || 1/0);') == "1"
+
+    def test_ternary(self):
+        assert run_main('printf("%d", 5 > 3 ? 10 : 20);') == "10"
+
+    def test_unary_not_and_neg(self):
+        assert run_main('printf("%d %d", !0, -5);') == "1 -5"
+
+
+class TestVariablesAndScope:
+    def test_assignment_and_compound(self):
+        assert run_main('int x; x = 4; x += 3; x *= 2; printf("%d", x);') == "14"
+
+    def test_pre_and_post_increment(self):
+        assert run_main('int i, a, b; i = 5; a = i++; b = ++i; '
+                        'printf("%d %d %d", a, b, i);') == "5 7 7"
+
+    def test_block_scope_shadows(self):
+        out = run_main('int x; x = 1; { int x; x = 99; } printf("%d", x);')
+        assert out == "1"
+
+    def test_char_cast_truncates(self):
+        assert run_main('printf("%d", (char) 300);') == "44"
+
+    def test_float_to_int_cast(self):
+        assert run_main('printf("%d", (int) 3.9);') == "3"
+
+    def test_undeclared_identifier_raises(self):
+        with pytest.raises(CRuntimeError, match="undeclared"):
+            run_main('printf("%d", nope);')
+
+
+class TestArraysAndPointers:
+    def test_array_write_read(self):
+        assert run_main('int a[4]; a[0]=1; a[3]=9; printf("%d %d", a[0], a[3]);') == "1 9"
+
+    def test_out_of_bounds_read_raises(self):
+        with pytest.raises(CRuntimeError, match="out-of-bounds"):
+            run_main("int a[4]; int x; x = a[4];")
+
+    def test_out_of_bounds_write_raises(self):
+        with pytest.raises(CRuntimeError, match="out-of-bounds"):
+            run_main("int a[2]; a[-1] = 0;")
+
+    def test_pointer_arithmetic(self):
+        assert run_main(
+            'char s[8]; strcpy(s, "abc"); char *p; p = s; p = p + 1; '
+            'printf("%c", *p);'
+        ) == "b"
+
+    def test_pointer_difference(self):
+        assert run_main(
+            "char s[8]; char *p, *q; p = s; q = p + 3; "
+            'printf("%d", q - p);'
+        ) == "3"
+
+    def test_null_deref_raises(self):
+        with pytest.raises(CRuntimeError, match="null"):
+            run_main("char *p; p = NULL; printf(\"%c\", *p);")
+
+    def test_malloc_and_free(self):
+        assert run_main(
+            "char *p; p = (char*) malloc(4); p[0] = 65; "
+            'printf("%c", p[0]); free(p);'
+        ) == "A"
+
+    def test_double_free_raises(self):
+        with pytest.raises(CRuntimeError, match="double free"):
+            run_main("char *p; p = (char*) malloc(4); free(p); free(p);")
+
+    def test_use_after_free_raises(self):
+        with pytest.raises(CRuntimeError, match="use-after-free"):
+            run_main("char *p; p = (char*) malloc(4); free(p); p[0] = 1;")
+
+    def test_two_dim_array_flattened(self):
+        out = run_main(
+            "int g[2][3]; int i; "
+            "for(i = 0; i < 6; i++) g[i/3][i%3] = i; "
+            'printf("%d %d", g[0][2], g[1][0]);'
+        )
+        # Row-major: g[0][2] is element 2... flattened as single buffer.
+        assert out.split()[0] == "2"
+
+
+class TestControlFlow:
+    def test_while_loop(self):
+        assert run_main('int i, s; i = 0; s = 0; '
+                        'while (i < 5) { s += i; i++; } printf("%d", s);') == "10"
+
+    def test_for_loop(self):
+        assert run_main('int s; s = 0; for (int i = 1; i <= 4; i++) s += i; '
+                        'printf("%d", s);') == "10"
+
+    def test_break(self):
+        assert run_main('int i; for (i = 0; i < 100; i++) if (i == 3) break; '
+                        'printf("%d", i);') == "3"
+
+    def test_continue(self):
+        assert run_main('int i, s; s = 0; for (i = 0; i < 5; i++) '
+                        '{ if (i % 2) continue; s += i; } printf("%d", s);') == "6"
+
+    def test_runaway_loop_guarded(self):
+        prog = parse("int main() { while (1) {} return 0; }")
+        interp = Interpreter(prog, max_steps=10_000)
+        with pytest.raises(CRuntimeError, match="exceeded"):
+            interp.run()
+
+
+class TestFunctions:
+    def test_user_function_call(self):
+        assert run(
+            "int sq(int x) { return x * x; }\n"
+            'int main() { printf("%d", sq(7)); return 0; }'
+        ) == "49"
+
+    def test_recursion(self):
+        assert run(
+            "int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }\n"
+            'int main() { printf("%d", fib(10)); return 0; }'
+        ) == "55"
+
+    def test_array_passed_by_reference(self):
+        assert run(
+            "int bump(int *a) { a[0] = a[0] + 1; return 0; }\n"
+            'int main() { int v[1]; v[0] = 41; bump(v); printf("%d", v[0]); return 0; }'
+        ) == "42"
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(CRuntimeError, match="expects"):
+            run("int f(int a) { return a; }\nint main() { return f(); }")
+
+    def test_undefined_function_raises(self):
+        with pytest.raises(CRuntimeError, match="undefined function"):
+            run_main("mystery();")
+
+    def test_exit_status_from_main(self):
+        prog = parse("int main() { return 3; }")
+        assert Interpreter(prog).run() == 3
+
+
+class TestIO:
+    def test_getline_reads_lines(self):
+        out = run_main(
+            "char *line; size_t n; int r; n = 100; "
+            "line = (char*) malloc(100); "
+            'while ((r = getline(&line, &n, stdin)) != -1) printf("<%d>", r); '
+            "free(line);",
+            stdin="ab\ncdef\n",
+        )
+        assert out == "<3><5>"
+
+    def test_scanf_string_and_int(self):
+        out = run_main(
+            "char w[16]; int v; "
+            'while (scanf("%s %d", w, &v) == 2) printf("%s=%d;", w, v);',
+            stdin="a 1\nb 2\n",
+        )
+        assert out == "a=1;b=2;"
+
+    def test_scanf_returns_minus_one_at_eof(self):
+        out = run_main('int v; printf("%d", scanf("%d", &v));', stdin="")
+        assert out == "-1"
+
+    def test_region_snapshot_captures_values(self, wc_map_source):
+        prog = parse(wc_map_source)
+        region = next(s for s in prog.main.body.stmts if s.pragma is not None)
+        snapshot = Interpreter(prog, stdin="").run_until_region(region)
+        assert "word" in snapshot and "nbytes" in snapshot
+        assert snapshot["nbytes"] == 10000
+
+
+class TestCounters:
+    def test_counters_accumulate(self):
+        _out, counters = run_filter(
+            parse('int main() { int i, s; s = 0; for (i = 0; i < 10; i++) s += i; '
+                  "return s; }"), "")
+        assert counters.ops > 10
+        assert counters.branches >= 10
+
+    def test_fp_ops_counted_for_float_math(self):
+        _out, c_int = run_filter(
+            parse("int main() { int x; x = 1 + 2; return 0; }"), "")
+        _out, c_flt = run_filter(
+            parse("int main() { double x; x = 1.5 + 2.5; return 0; }"), "")
+        assert c_flt.fp_ops > c_int.fp_ops

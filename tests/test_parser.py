@@ -1,0 +1,200 @@
+"""Parser tests: declarations, expressions, statements, pragmas."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.minic import cast as A
+from repro.minic import ctypes as T
+from repro.minic.parser import parse
+
+
+def parse_main_body(body: str) -> A.Block:
+    prog = parse("int main() {\n" + body + "\n}")
+    return prog.main.body
+
+
+def first_stmt(body: str) -> A.Stmt:
+    return parse_main_body(body).stmts[0]
+
+
+class TestDeclarations:
+    def test_scalar_declaration(self):
+        stmt = first_stmt("int a;")
+        assert isinstance(stmt, A.DeclStmt)
+        assert stmt.decls[0].name == "a"
+        assert stmt.decls[0].ctype == T.INT
+
+    def test_multiple_declarators(self):
+        stmt = first_stmt("int a, b, c;")
+        assert [d.name for d in stmt.decls] == ["a", "b", "c"]
+
+    def test_pointer_declarator(self):
+        stmt = first_stmt("char *p;")
+        assert stmt.decls[0].ctype == T.Pointer(T.CHAR)
+
+    def test_mixed_pointer_and_array(self):
+        stmt = first_stmt("char word[30], *line;")
+        assert stmt.decls[0].ctype == T.Array(T.CHAR, 30)
+        assert stmt.decls[1].ctype == T.Pointer(T.CHAR)
+
+    def test_two_dimensional_array(self):
+        stmt = first_stmt("int grid[4][8];")
+        assert stmt.decls[0].ctype == T.Array(T.Array(T.INT, 8), 4)
+
+    def test_initializer(self):
+        stmt = first_stmt("int a = 5;")
+        assert isinstance(stmt.decls[0].init, A.IntLit)
+        assert stmt.decls[0].init.value == 5
+
+    def test_double_and_size_t(self):
+        assert first_stmt("double d;").decls[0].ctype == T.DOUBLE
+        assert first_stmt("size_t n;").decls[0].ctype == T.SIZE_T
+
+    def test_unsigned_int(self):
+        assert first_stmt("unsigned int u;").decls[0].ctype == T.UNSIGNED
+
+
+class TestExpressions:
+    def expr(self, text: str) -> A.Expr:
+        stmt = first_stmt(text + ";")
+        assert isinstance(stmt, A.ExprStmt)
+        return stmt.expr
+
+    def test_precedence_mul_over_add(self):
+        e = self.expr("a + b * c")
+        assert isinstance(e, A.BinOp) and e.op == "+"
+        assert isinstance(e.right, A.BinOp) and e.right.op == "*"
+
+    def test_comparison_below_logic(self):
+        e = self.expr("a < b && c > d")
+        assert e.op == "&&"
+        assert e.left.op == "<" and e.right.op == ">"
+
+    def test_assignment_right_associative(self):
+        e = self.expr("a = b = 1")
+        assert isinstance(e, A.Assign)
+        assert isinstance(e.value, A.Assign)
+
+    def test_compound_assignment(self):
+        assert self.expr("x += 2").op == "+="
+
+    def test_ternary(self):
+        e = self.expr("a ? b : c")
+        assert isinstance(e, A.Conditional)
+
+    def test_cast_of_malloc(self):
+        e = self.expr("(char*) malloc(10)")
+        assert isinstance(e, A.Cast)
+        assert e.to_type == T.Pointer(T.CHAR)
+        assert isinstance(e.operand, A.Call)
+
+    def test_sizeof_type(self):
+        e = self.expr("sizeof(double)")
+        assert isinstance(e, A.SizeofType) and e.of_type == T.DOUBLE
+
+    def test_address_of_and_deref(self):
+        e = self.expr("*(&x)")
+        assert isinstance(e, A.UnaryOp) and e.op == "*"
+        assert isinstance(e.operand, A.UnaryOp) and e.operand.op == "&"
+
+    def test_call_with_args(self):
+        e = self.expr("getWord(line, offset, word, read, 30)")
+        assert isinstance(e, A.Call) and len(e.args) == 5
+
+    def test_nested_index(self):
+        e = self.expr("grid[i][j]")
+        assert isinstance(e, A.Index) and isinstance(e.base, A.Index)
+
+    def test_postfix_increment(self):
+        e = self.expr("i++")
+        assert isinstance(e, A.PostfixOp) and e.op == "++"
+
+    def test_unary_minus_and_not(self):
+        assert self.expr("-x").op == "-"
+        assert self.expr("!x").op == "!"
+
+    def test_parenthesized_grouping(self):
+        e = self.expr("(a + b) * c")
+        assert e.op == "*" and e.left.op == "+"
+
+
+class TestStatements:
+    def test_while_loop(self):
+        stmt = first_stmt("while (x) { x = x - 1; }")
+        assert isinstance(stmt, A.While)
+        assert isinstance(stmt.body, A.Block)
+
+    def test_for_loop_with_decl(self):
+        stmt = first_stmt("for (int i = 0; i < 8; i++) { s += i; }")
+        assert isinstance(stmt, A.For)
+        assert isinstance(stmt.init, A.DeclStmt)
+
+    def test_for_loop_empty_clauses(self):
+        stmt = first_stmt("for (;;) break;")
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_if_else_chain(self):
+        stmt = first_stmt("if (a) x = 1; else if (b) x = 2; else x = 3;")
+        assert isinstance(stmt, A.If)
+        assert isinstance(stmt.otherwise, A.If)
+
+    def test_return_value(self):
+        stmt = first_stmt("return 0;")
+        assert isinstance(stmt, A.Return) and stmt.value.value == 0
+
+    def test_break_continue(self):
+        block = parse_main_body("while (1) { break; continue; }")
+        inner = block.stmts[0].body
+        assert isinstance(inner.stmts[0], A.Break)
+        assert isinstance(inner.stmts[1], A.Continue)
+
+    def test_empty_statement(self):
+        stmt = first_stmt(";")
+        assert isinstance(stmt, A.ExprStmt) and stmt.expr is None
+
+
+class TestPragmasAndFunctions:
+    def test_pragma_attaches_to_next_statement(self, wc_map_source):
+        prog = parse(wc_map_source)
+        annotated = [s for s in prog.main.body.stmts if s.pragma is not None]
+        assert len(annotated) == 1
+        assert isinstance(annotated[0], A.While)
+        assert "mapper" in annotated[0].pragma.text
+
+    def test_pragma_attaches_to_block(self, wc_combine_source):
+        prog = parse(wc_combine_source)
+        annotated = [s for s in prog.main.body.stmts if s.pragma is not None]
+        assert len(annotated) == 1
+        assert isinstance(annotated[0], A.Block)
+
+    def test_function_with_params(self):
+        prog = parse("int add(int a, int b) { return a + b; }\nint main() { return add(1, 2); }")
+        add = prog.function("add")
+        assert [p.name for p in add.params] == ["a", "b"]
+
+    def test_void_param_list(self):
+        prog = parse("int main(void) { return 0; }")
+        assert prog.main.params == []
+
+    def test_pointer_param(self):
+        prog = parse("int f(char *s) { return 0; }\nint main() { return 0; }")
+        assert prog.function("f").params[0].ctype == T.Pointer(T.CHAR)
+
+    def test_missing_function_raises_keyerror(self):
+        prog = parse("int main() { return 0; }")
+        with pytest.raises(KeyError):
+            prog.function("nope")
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize("bad", [
+        "int main() { int ; }",
+        "int main() { if a x; }",
+        "int main() { return 0 }",
+        "int main() {",
+        "int main() { x = ; }",
+        "int main() { sizeof(x); }",
+    ])
+    def test_syntax_errors_raise(self, bad):
+        with pytest.raises(ParseError):
+            parse(bad)

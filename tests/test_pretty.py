@@ -1,0 +1,50 @@
+"""Printer tests: output re-parses to the same program (round-trip)."""
+
+import pytest
+
+from repro.minic import parse, pprint_program
+from repro.minic.interpreter import run_filter
+
+
+ROUND_TRIP_SOURCES = [
+    "int main() { int a; a = 1 + 2 * 3; return a; }",
+    "int main() { char s[8]; strcpy(s, \"hi\"); return strlen(s); }",
+    "int main() { int i, s; s = 0; for (i = 0; i < 4; i++) s += i; return s; }",
+    "int main() { int x; x = 5 > 3 ? 1 : 0; if (x) x = -x; else x = 2; return x; }",
+    "int main() { double d; d = (double) 3; return (int) d; }",
+    "int sq(int x) { return x * x; }\nint main() { return sq(4); }",
+    "int main() { int a[3]; a[0] = 1; a[1] = a[0] << 2; return a[1] % 3; }",
+    "int main() { int i; i = 0; while (1) { i++; if (i > 3) break; } return i; }",
+]
+
+
+@pytest.mark.parametrize("source", ROUND_TRIP_SOURCES)
+def test_round_trip_preserves_behaviour(source):
+    """Printing then re-parsing must not change program semantics."""
+    original = parse(source)
+    printed = pprint_program(original)
+    reparsed = parse(printed)
+    out1, _ = run_filter(original, "")
+    out2, _ = run_filter(reparsed, "")
+    assert out1 == out2
+
+
+def test_round_trip_is_stable():
+    """print(parse(print(p))) == print(p) — idempotent after one pass."""
+    prog = parse(ROUND_TRIP_SOURCES[2])
+    once = pprint_program(prog)
+    twice = pprint_program(parse(once))
+    assert once == twice
+
+
+def test_pragma_preserved_in_output(wc_map_source):
+    printed = pprint_program(parse(wc_map_source))
+    assert "#pragma mapreduce mapper" in printed
+
+
+def test_string_escapes_in_output():
+    prog = parse(r'int main() { printf("%s\t%d\n", "x", 1); return 0; }')
+    printed = pprint_program(prog)
+    assert r"\t" in printed and r"\n" in printed
+    out, _ = run_filter(parse(printed), "")
+    assert out == "x\t1\n"

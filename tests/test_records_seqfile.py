@@ -1,0 +1,90 @@
+"""Record locator and SequenceFile format tests (paper §5.2)."""
+
+import pytest
+
+from repro.config import TESLA_K40
+from repro.runtime.records import locate_records
+from repro.runtime.seqfile import (
+    SeqFileError,
+    SequenceFileReader,
+    SequenceFileWriter,
+)
+
+
+class TestRecordLocator:
+    def test_splits_on_newlines(self):
+        loc = locate_records(b"one\ntwo\nthree\n", TESLA_K40)
+        assert loc.records == [b"one", b"two", b"three"]
+        assert loc.offsets == [0, 4, 8]
+
+    def test_trailing_unterminated_record_kept(self):
+        loc = locate_records(b"a\nb", TESLA_K40)
+        assert loc.records == [b"a", b"b"]
+
+    def test_empty_lines_skipped(self):
+        loc = locate_records(b"a\n\n\nb\n", TESLA_K40)
+        assert loc.records == [b"a", b"b"]
+
+    def test_empty_input(self):
+        loc = locate_records(b"", TESLA_K40)
+        assert loc.count == 0 and loc.cycles == 0.0 or loc.cycles >= 0.0
+
+    def test_skew_metric(self):
+        loc = locate_records(b"x\n" + b"y" * 100 + b"\n", TESLA_K40)
+        assert loc.skew > 1.5
+
+    def test_cost_grows_with_size(self):
+        small = locate_records(b"a\n" * 100, TESLA_K40)
+        large = locate_records(b"a\n" * 10_000, TESLA_K40)
+        assert large.cycles > small.cycles
+
+
+class TestSequenceFile:
+    def test_round_trip_mixed_types(self):
+        writer = SequenceFileWriter()
+        pairs = [("word", 3), (42, 1.5), (b"raw", b"bytes"), ("f", -2.25)]
+        writer.extend(pairs)
+        image = writer.finish()
+        assert SequenceFileReader(image).read_all() == pairs
+
+    def test_empty_file_round_trips(self):
+        image = SequenceFileWriter().finish()
+        assert SequenceFileReader(image).read_all() == []
+
+    def test_sync_markers_inserted(self):
+        writer = SequenceFileWriter()
+        for i in range(4001):
+            writer.append(i, i)
+        image = writer.finish()
+        assert SequenceFileReader(image).read_all()[:3] == [(0, 0), (1, 1), (2, 2)]
+
+    def test_checksum_detects_corruption(self):
+        writer = SequenceFileWriter()
+        writer.append("k", 1)
+        image = bytearray(writer.finish())
+        image[len(image) // 2] ^= 0xFF
+        with pytest.raises(SeqFileError, match="checksum"):
+            SequenceFileReader(bytes(image))
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(SeqFileError, match="magic"):
+            SequenceFileReader(b"NOTASEQFILE" + b"\0" * 16)
+
+    def test_truncated_file_rejected(self):
+        writer = SequenceFileWriter()
+        writer.append("k", 1)
+        image = writer.finish()
+        with pytest.raises(SeqFileError):
+            SequenceFileReader(image[: len(image) - 3]).read_all()
+
+    def test_unicode_keys(self):
+        writer = SequenceFileWriter()
+        writer.append("héllo wörld", 1)
+        image = writer.finish()
+        assert SequenceFileReader(image).read_all() == [("héllo wörld", 1)]
+
+    def test_count_tracks_appends(self):
+        writer = SequenceFileWriter()
+        for i in range(7):
+            writer.append(i, i)
+        assert writer.count == 7

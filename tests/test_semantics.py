@@ -1,0 +1,145 @@
+"""Static-analysis tests: use/def sets, firstprivate detection."""
+
+from repro.minic import parse
+from repro.minic import cast as A
+from repro.minic.semantics import (
+    analyze_region,
+    auto_firstprivate,
+    collect_decl_names,
+    collect_idents,
+    declared_types,
+    expr_value_reads,
+)
+from repro.minic import ctypes as T
+
+
+def region_of(source: str) -> tuple[A.FunctionDef, A.Stmt]:
+    prog = parse(source)
+    func = prog.main
+    region = next(s for s in func.body.walk()
+                  if isinstance(s, A.Stmt) and s.pragma is not None)
+    return func, region
+
+
+class TestUseDefSets:
+    def test_collect_idents(self):
+        prog = parse("int main() { int a, b; a = b + 1; return a; }")
+        assert {"a", "b"} <= collect_idents(prog.main.body)
+
+    def test_collect_decl_names(self):
+        prog = parse("int main() { int a; { char b[4]; } return 0; }")
+        assert collect_decl_names(prog.main.body) == {"a", "b"}
+
+    def test_declared_types_includes_params(self):
+        prog = parse("int f(char *s, int n) { return n; }\nint main() { return 0; }")
+        types = declared_types(prog.function("f"))
+        assert types["s"] == T.Pointer(T.CHAR)
+        assert types["n"] == T.INT
+
+    def test_strong_vs_weak_writes(self):
+        prog = parse(
+            "int helper(char *p) { return 0; }\n"
+            "int main() { int x; char buf[4]; x = 1; helper(buf); return 0; }"
+        )
+        info = analyze_region(prog.main.body)
+        assert "x" in info.written_strong
+        assert "buf" in info.written_weak
+        assert "buf" not in info.written_strong
+
+    def test_scanf_args_are_strong_writes(self):
+        prog = parse('int main() { int v; char w[8]; scanf("%s %d", w, &v); return 0; }')
+        info = analyze_region(prog.main.body)
+        assert {"v", "w"} <= info.written_strong
+
+    def test_getword_out_param(self):
+        prog = parse(
+            "int main() { char line[8]; char w[8]; int lp; "
+            "lp = getWord(line, 0, w, 8, 8); return 0; }"
+        )
+        info = analyze_region(prog.main.body)
+        assert "w" in info.written_strong
+        # line is only read by getWord
+        assert "line" not in info.written_strong
+
+
+class TestExprValueReads:
+    def parse_expr(self, text: str) -> A.Expr:
+        prog = parse(f"int main() {{ {text}; return 0; }}")
+        return prog.main.body.stmts[0].expr
+
+    def test_plain_assignment_target_not_read(self):
+        assert "x" not in expr_value_reads(self.parse_expr("x = y + 1"))
+
+    def test_compound_assignment_target_read(self):
+        assert "x" in expr_value_reads(self.parse_expr("x += y"))
+
+    def test_address_of_not_a_read(self):
+        reads = expr_value_reads(self.parse_expr("scanf(\"%d\", &v)"))
+        assert "v" not in reads
+
+    def test_index_target_base_read(self):
+        reads = expr_value_reads(self.parse_expr("a[i] = 0"))
+        assert {"a", "i"} <= reads
+
+
+class TestAutoFirstprivate:
+    def test_paper_mapper_has_no_firstprivate(self, wc_map_source):
+        # In Listing 1 every region variable is written before read.
+        func, region = region_of(wc_map_source)
+        info = analyze_region(region)
+        candidates = info.free_vars & info.written
+        fp = auto_firstprivate(region, candidates)
+        assert "one" not in fp
+        assert "offset" not in fp
+        assert "linePtr" not in fp
+
+    def test_read_before_write_detected(self):
+        src = """
+int main() {
+    int acc; acc = 5;
+    int x;
+    #pragma mapreduce mapper key(x) value(acc)
+    while ( (x = scanf("%d", &x)) != -1 ) {
+        acc = acc + x;
+        printf("%d\\t%d\\n", x, acc);
+    }
+    return 0;
+}
+"""
+        func, region = region_of(src)
+        fp = auto_firstprivate(region, {"acc"})
+        assert "acc" in fp
+
+    def test_dominating_write_retires(self):
+        src = """
+int main() {
+    int t; t = 0;
+    int x;
+    #pragma mapreduce mapper key(x) value(t)
+    while ( (x = scanf("%d", &x)) != -1 ) {
+        t = 1;
+        printf("%d\\t%d\\n", x, t);
+    }
+    return 0;
+}
+"""
+        func, region = region_of(src)
+        assert auto_firstprivate(region, {"t"}) == set()
+
+    def test_conditional_write_does_not_retire(self):
+        src = """
+int main() {
+    int t; t = 0;
+    int x;
+    #pragma mapreduce mapper key(x) value(t)
+    while ( (x = scanf("%d", &x)) != -1 ) {
+        if (x > 0)
+            t = 1;
+        printf("%d\\t%d\\n", x, t);
+    }
+    return 0;
+}
+"""
+        func, region = region_of(src)
+        # t read (by printf) after a non-dominating write: firstprivate.
+        assert auto_firstprivate(region, {"t"}) == {"t"}

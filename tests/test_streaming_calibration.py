@@ -1,0 +1,107 @@
+"""Streaming-protocol module and calibration-band tests."""
+
+import pytest
+
+from repro.apps import get_app
+from repro.costmodel.calibration import (
+    FIG5_BANDS,
+    FIG5_ORDER,
+    measured_speedups,
+    verify_calibration,
+)
+from repro.hadoop.streaming import (
+    StreamingFilter,
+    StreamingPipeline,
+    format_kv,
+    parse_kv,
+)
+from repro.kvstore import Partitioner
+
+
+class TestKvSerialization:
+    def test_round_trip(self):
+        pairs = [("word", 3), (5, 2.5), ("x y", 1)]
+        assert parse_kv(format_kv(pairs)) == pairs
+
+    def test_empty(self):
+        assert parse_kv("") == [] and format_kv([]) == ""
+
+
+class TestStreamingFilter:
+    def test_wordcount_map_as_filter(self):
+        app = get_app("WC")
+        f = StreamingFilter(app.map_program(), name="wc-map")
+        out = f("the quick fox\nthe dog\n")
+        assert parse_kv(out) == [("the", 1), ("quick", 1), ("fox", 1),
+                                 ("the", 1), ("dog", 1)]
+        assert f.invocations == 1
+        assert f.total_counters.ops > 0
+
+    def test_counters_accumulate_across_invocations(self):
+        app = get_app("WC")
+        f = StreamingFilter(app.map_program())
+        f("a b\n")
+        once = f.total_counters.ops
+        f("a b\n")
+        assert f.total_counters.ops == 2 * once
+
+    def test_combine_filter_kv_interface(self):
+        app = get_app("WC")
+        f = StreamingFilter(app.combine_program())
+        out = f.run_kv([("a", 1), ("a", 2), ("b", 1)])
+        assert out == [("a", 3), ("b", 1)]
+
+
+class TestStreamingPipeline:
+    def test_full_map_side(self):
+        app = get_app("WC")
+        pipeline = StreamingPipeline.for_app(app)
+        partitioner = Partitioner(4)
+        parts = pipeline.run_split("a b a\nb c\n", partitioner.partition)
+        merged = {}
+        for kvs in parts.values():
+            for k, v in kvs:
+                merged[k] = merged.get(k, 0) + v
+        assert merged == {"a": 2, "b": 2, "c": 1}
+
+    def test_partitions_sorted(self):
+        app = get_app("WC")
+        pipeline = StreamingPipeline.for_app(app)
+        parts = pipeline.run_split("zeta alpha mid\n", lambda k: 0)
+        keys = [k for k, _v in parts[0]]
+        assert keys == sorted(keys)
+
+    def test_no_combiner_app(self):
+        app = get_app("CL")
+        pipeline = StreamingPipeline.for_app(app)
+        assert pipeline.combiner is None
+        text = app.generate(20, seed=2)
+        parts = pipeline.run_split(text, lambda k: 0)
+        assert sum(len(v) for v in parts.values()) == 20
+
+    def test_matches_app_cpu_map(self):
+        app = get_app("HR")
+        text = app.generate(60, seed=5)
+        pipeline = StreamingPipeline.for_app(app)
+        parts = pipeline.run_split(text, Partitioner(5).partition)
+        # Totals equal the reference regardless of partitioning/combining.
+        totals = {}
+        for kvs in parts.values():
+            for k, v in kvs:
+                totals[k] = totals.get(k, 0) + v
+        assert totals == app.reference(text)
+
+
+class TestCalibrationBands:
+    def test_current_models_within_bands(self):
+        problems = verify_calibration()
+        assert problems == [], "\n".join(problems)
+
+    def test_ordering_matches_paper(self):
+        speedups = measured_speedups()
+        ordered = [speedups[a] for a in FIG5_ORDER]
+        assert ordered == sorted(ordered)
+
+    def test_bands_cover_all_eight(self):
+        assert {b.app for b in FIG5_BANDS} == \
+            {"GR", "HS", "WC", "HR", "LR", "KM", "CL", "BS"}
