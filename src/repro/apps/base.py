@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Any, Callable
 
-from ..compiler import TranslationResult, translate
+from ..compiler import TranslationResult, translate_cached
 from ..config import GB, OptimizationFlags
 from ..errors import ConfigError
 from ..minic import cast as A
@@ -72,7 +72,7 @@ class Application:
         return _parse_cached(self.combine_source)
 
     def translate_map(self, opt: OptimizationFlags | None = None) -> TranslationResult:
-        return translate(self.map_program(), opt=opt, map_only=self.map_only)
+        return translate_cached(self.map_program(), opt=opt, map_only=self.map_only)
 
     def translate_combine(
         self, opt: OptimizationFlags | None = None
@@ -80,7 +80,7 @@ class Application:
         prog = self.combine_program()
         if prog is None:
             return None
-        return translate(prog, opt=opt)
+        return translate_cached(prog, opt=opt)
 
     # -- CPU (Hadoop Streaming) path -----------------------------------------
 

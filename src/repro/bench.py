@@ -1,0 +1,115 @@
+"""Interpreter-backend benchmark: tree-walker vs closure-compiled.
+
+Runs complete CPU-path local jobs (``LocalJobRunner(use_gpu=False)``)
+for selected benchmarks under both mini-C interpreter backends and
+reports records/second plus the compiled-over-tree speedup. The two
+runs must produce identical job output — a speedup over a wrong answer
+is no speedup — so every bench run doubles as a differential test.
+
+Timing uses ``time.process_time()`` (CPU time, immune to scheduler
+noise) and keeps the best of ``repeat`` runs, which is the stable
+estimator for a single-threaded hot loop. The two backends are timed
+in interleaved rounds (tree, compiled, tree, compiled, ...) rather
+than back-to-back phases, so slow CPU-frequency drift over the bench
+run biases both backends equally instead of skewing the ratio.
+
+CLI: ``python -m repro bench --out BENCH_interp.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Iterable
+
+from .apps import get_app
+from .errors import ReproError
+from .minic.interpreter import use_backend
+
+#: Default record counts, sized so the tree-walker run stays around a
+#: second per app (KM does ~40x more mini-C work per record than WC).
+_DEFAULT_RECORDS = {
+    "GR": 4000,
+    "WC": 3000,
+    "HS": 4000,
+    "HR": 4000,
+    "LR": 1500,
+    "KM": 300,
+    "CL": 400,
+    "BS": 1500,
+}
+DEFAULT_APPS = ("WC", "KM")
+
+
+def _timed_run(runner: Any, text: str, backend: str) -> tuple[float, dict]:
+    with use_backend(backend):
+        start = time.process_time()
+        result = runner.run(text)
+        return time.process_time() - start, result.output
+
+
+def bench_app(short: str, records: int | None = None, repeat: int = 3,
+              seed: int = 7, split_bytes: int = 64 * 1024) -> dict[str, Any]:
+    """Benchmark one app's CPU-path local job under both backends."""
+    from .hadoop.local import LocalJobRunner
+
+    app = get_app(short)
+    n = records if records is not None else _DEFAULT_RECORDS.get(short, 1000)
+    text = app.generate(n, seed=seed)
+    runner = LocalJobRunner(app, use_gpu=False, split_bytes=split_bytes)
+
+    # Warm both backends (parse/compile/translate caches) off the clock.
+    _, tree_out = _timed_run(runner, text, "tree")
+    _, compiled_out = _timed_run(runner, text, "compiled")
+    tree_s = compiled_s = float("inf")
+    for _ in range(max(repeat, 1)):
+        elapsed, tree_out = _timed_run(runner, text, "tree")
+        tree_s = min(tree_s, elapsed)
+        elapsed, compiled_out = _timed_run(runner, text, "compiled")
+        compiled_s = min(compiled_s, elapsed)
+
+    if tree_out != compiled_out:
+        raise ReproError(
+            f"{short}: backend outputs diverge "
+            f"({len(tree_out)} vs {len(compiled_out)} keys)"
+        )
+    return {
+        "app": short,
+        "records": n,
+        "output_keys": len(compiled_out),
+        "tree_seconds": round(tree_s, 4),
+        "compiled_seconds": round(compiled_s, 4),
+        "tree_records_per_s": round(n / tree_s, 1) if tree_s else None,
+        "compiled_records_per_s": round(n / compiled_s, 1)
+        if compiled_s else None,
+        "speedup": round(tree_s / compiled_s, 2) if compiled_s else None,
+    }
+
+
+def run_bench(apps: Iterable[str] = DEFAULT_APPS, records: int | None = None,
+              repeat: int = 3, seed: int = 7) -> dict[str, Any]:
+    """Benchmark several apps; returns the report dict."""
+    results = [bench_app(a, records=records, repeat=repeat, seed=seed)
+               for a in apps]
+    return {
+        "benchmark": "mini-C interpreter backends, CPU-path local jobs",
+        "method": ("best-of-N process_time, interleaved backend rounds, "
+                   "identical-output enforced"),
+        "repeat": repeat,
+        "results": results,
+    }
+
+
+def write_report(report: dict[str, Any], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+
+def check_min_speedup(report: dict[str, Any], minimum: float) -> list[str]:
+    """Apps whose compiled-backend speedup is below ``minimum``."""
+    return [
+        r["app"]
+        for r in report["results"]
+        if r["speedup"] is None or r["speedup"] < minimum
+    ]

@@ -113,6 +113,29 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from . import bench
+
+    apps = args.apps or list(bench.DEFAULT_APPS)
+    report = bench.run_bench(apps, records=args.records,
+                             repeat=args.repeat, seed=args.seed)
+    for r in report["results"]:
+        print(f"{r['app']:4s} {r['records']:6d} records  "
+              f"tree {r['tree_records_per_s']:10.1f} rec/s  "
+              f"compiled {r['compiled_records_per_s']:10.1f} rec/s  "
+              f"speedup {r['speedup']:.2f}x")
+    if args.out:
+        bench.write_report(report, args.out)
+        print(f"wrote {args.out}")
+    if args.min_speedup is not None:
+        slow = bench.check_min_speedup(report, args.min_speedup)
+        if slow:
+            print(f"error: below --min-speedup {args.min_speedup}: "
+                  f"{', '.join(slow)}", file=sys.stderr)
+            return 1
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from .experiments import figures, report, tables
 
@@ -180,6 +203,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--policy", choices=("cpu-only", "gpu-first", "tail"))
     p.add_argument("--task-scale", type=float, default=1.0)
     p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("bench", help="time the mini-C interpreter backends "
+                                     "on CPU-path local jobs")
+    p.add_argument("--apps", nargs="*", metavar="TAG",
+                   help="benchmark tags (default: WC KM)")
+    p.add_argument("--records", type=int, default=None,
+                   help="records per app (default: per-app sizes)")
+    p.add_argument("--repeat", type=int, default=3)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--out", help="write the JSON report here "
+                                 "(e.g. BENCH_interp.json)")
+    p.add_argument("--min-speedup", type=float, default=None,
+                   help="exit nonzero if any app's speedup is below this")
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument("name", help="table1|table2|table3|fig3|fig4a|fig4b|"

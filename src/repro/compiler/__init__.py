@@ -11,7 +11,7 @@ The original source is left untouched: it remains the CPU executable
 """
 
 from .kernel_ir import KernelIR, VarClass, VarInfo
-from .translator import TranslationResult, translate
+from .translator import TranslationResult, translate, translate_cached
 from .host_codegen import HostPlan, HostStep
 
 __all__ = [
@@ -20,6 +20,7 @@ __all__ = [
     "VarInfo",
     "TranslationResult",
     "translate",
+    "translate_cached",
     "HostPlan",
     "HostStep",
 ]

@@ -19,6 +19,7 @@ from ..directives import Directive, DirectiveKind, find_directives
 from ..errors import CompilerError
 from ..minic import cast as A
 from ..minic import ctypes as T
+from ..minic.cache import cached_translation
 from ..minic.pretty import pprint_function, pprint_stmt
 from ..minic.semantics import declared_types
 from .host_codegen import HostPlan
@@ -395,3 +396,37 @@ def translate(
     )
     result.cuda_source = "\n\n".join(k.source_text for k in result.kernels)
     return result
+
+
+def translate_cached(
+    program: A.Program,
+    opt: OptimizationFlags | None = None,
+    warp_size: int = 32,
+    map_only: bool = False,
+) -> TranslationResult:
+    """Memoized :func:`translate`.
+
+    A local job re-translates the same map/combine program once per map
+    task; the result depends only on the program source, the
+    optimization flags, and the launch parameters, so it is cached under
+    that key (see :mod:`repro.minic.cache`). Callers share one
+    TranslationResult — the translator never mutates it after build, and
+    the GPU runner clones every buffer it materializes from it.
+    """
+    opt = opt if opt is not None else OptimizationFlags.all_on()
+    opt_key = (
+        opt.use_texture,
+        opt.vectorize_map,
+        opt.vectorize_combine,
+        opt.record_stealing,
+        opt.kv_aggregation,
+    )
+    return cached_translation(
+        program,
+        opt_key,
+        warp_size,
+        map_only,
+        lambda: translate(
+            program, opt=opt, warp_size=warp_size, map_only=map_only
+        ),
+    )

@@ -726,5 +726,14 @@ def _gpu_common_builtins(charges: LaneCharges, vec: int) -> dict[str, Callable]:
 def _kernel_program(kernel: KernelIR) -> A.Program:
     """A Program wrapper exposing the user's helper functions (anything
     besides ``main``) so kernel bodies can call them — the paper's
-    translator emits ``__device__`` versions of such helpers."""
-    return A.Program(functions=kernel.helpers)
+    translator emits ``__device__`` versions of such helpers.
+
+    One Program per kernel, cached on the KernelIR: a launch builds one
+    interpreter per simulated thread, and a stable Program identity is
+    what lets the compile/str-literal caches in :mod:`repro.minic.cache`
+    hit across threads and splits instead of re-walking the AST."""
+    program = kernel.__dict__.get("_cached_program")
+    if program is None:
+        program = A.Program(functions=kernel.helpers)
+        setattr(kernel, "_cached_program", program)
+    return program

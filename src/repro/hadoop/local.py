@@ -30,10 +30,30 @@ def parse_kv_line(line: str) -> tuple[Any, Any]:
     if "\t" not in line:
         raise HadoopError(f"malformed KV line {line!r}")
     k, v = line.split("\t", 1)
-    return _coerce(k), _coerce(v)
+    return _coerce_key(k), _coerce(v)
+
+
+def _coerce_key(text: str) -> Any:
+    """Type a streaming key: int only when the text is the canonical
+    decimal rendering.
+
+    Keys are identities, not quantities — ``"007"`` and ``"1.0"`` name
+    different words than ``"7"`` and ``"1"``, and the GPU path (which
+    keeps ``%s`` keys as text) never collapses them. Apps emit integer
+    keys via ``%d``, whose output is always canonical, so those still
+    come back as ints and sort numerically."""
+    # The isdigit screen keeps word keys (the common case) off the
+    # int() exception path.
+    if text.isdigit() or (text[:1] == "-" and text[1:].isdigit()):
+        i = int(text)
+        if str(i) == text:
+            return i
+    return text
 
 
 def _coerce(text: str) -> Any:
+    if text.isdigit() or (text[:1] == "-" and text[1:].isdigit()):
+        return int(text)
     try:
         return int(text)
     except ValueError:
@@ -126,9 +146,11 @@ class LocalJobRunner:
 
     # -- map side ------------------------------------------------------------------
 
-    def _run_gpu_map_task(self, split: bytes, device: GpuDevice,
-                          result: LocalJobResult) -> dict[int, list[tuple[Any, Any]]]:
-        runner = GpuTaskRunner(
+    def _make_gpu_runner(self, device: GpuDevice) -> GpuTaskRunner:
+        """One GpuTaskRunner per job: translations are resolved once
+        (memoized — see translate_cached) and the host snapshots the
+        runner computes are reused by every map task."""
+        return GpuTaskRunner(
             self.app.translate_map(self.opt),
             self.app.translate_combine(self.opt),
             device,
@@ -137,6 +159,9 @@ class LocalJobRunner:
             replication=self.cluster.hdfs_replication,
             min_gpu_mem=self.app.min_gpu_mem,
         )
+
+    def _run_gpu_map_task(self, split: bytes, runner: GpuTaskRunner,
+                          result: LocalJobResult) -> dict[int, list[tuple[Any, Any]]]:
         task = runner.run(split)
         result.gpu_task_results.append(task)
         result.map_output_pairs += task.emitted_pairs
@@ -197,12 +222,13 @@ class LocalJobRunner:
         splits = self.make_splits(input_text)
         result.map_tasks = len(splits)
         device = GpuDevice(self.cluster.gpu) if self.use_gpu else None
+        gpu_runner = self._make_gpu_runner(device) if self.use_gpu else None
 
         # Map phase → shuffle inputs grouped by reduce partition.
         shuffle: dict[int, list[tuple[Any, Any]]] = defaultdict(list)
         for split in splits:
             if self.use_gpu:
-                parts = self._run_gpu_map_task(split, device, result)
+                parts = self._run_gpu_map_task(split, gpu_runner, result)
             else:
                 parts = self._run_cpu_map_task(split, result)
             for part, kvs in parts.items():

@@ -1,0 +1,121 @@
+"""Program-level caches for the mini-C toolchain.
+
+A local job runs one map program over N fileSplits and (on the GPU
+path) one kernel body over thousands of simulated threads. Without
+caching, each task re-parses, re-translates, and re-walks the same
+source. This module provides:
+
+* :func:`compiled_program` — one :class:`~repro.minic.compile.CompiledProgram`
+  per distinct program *source* (sha1 of ``Program.source``), shared by
+  every interpreter instance, task, and thread executing it;
+* :func:`compiled_suite` — one compiled closure tree per (statement,
+  program) pair, stashed on the statement node (the GPU kernel-body
+  case: the same ``kernel.body`` node runs per thread per split);
+* :func:`strlit_buffers` — the per-program string-literal Buffer table
+  used by the tree-walking backend, so literals inside loops stop
+  allocating a fresh Buffer per interpreter instance;
+* :func:`cached_translation` — memoized source-to-source translation,
+  keyed by source hash + optimization flags + launch parameters, used
+  by :func:`repro.compiler.translator.translate_cached`.
+
+Keying by source hash (rather than object identity) means two
+``Program`` objects parsed from identical source share one compiled
+artifact; programs with no source text (e.g. synthesized kernel-helper
+programs) fall back to identity keys, with the cache holding a strong
+reference to the program so ids cannot be recycled.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Callable
+
+from . import cast as A
+from .compile import CompiledProgram, CompiledSuite
+
+_ATTR_KEY = "_repro_cache_key"
+_ATTR_COMPILED = "_repro_compiled"
+_ATTR_SUITE = "_repro_compiled_suite"
+_ATTR_STRLITS = "_repro_strlit_buffers"
+
+#: source-hash key → CompiledProgram (or (program, CompiledProgram) for
+#: identity keys, pinning the program alive).
+_compiled: dict[str, CompiledProgram] = {}
+_translations: dict[tuple, Any] = {}
+
+
+def program_key(program: A.Program) -> str:
+    """Stable cache key: sha1 of the source, or identity for synthetic
+    programs with no source text."""
+    key = program.__dict__.get(_ATTR_KEY)
+    if key is None:
+        if program.source:
+            digest = hashlib.sha1(program.source.encode("utf-8")).hexdigest()
+            key = f"sha1:{digest}"
+        else:
+            key = f"id:{id(program)}"
+        setattr(program, _ATTR_KEY, key)
+    return key
+
+
+def compiled_program(program: A.Program) -> CompiledProgram:
+    """The (cached) closure-compiled form of ``program``."""
+    cp = program.__dict__.get(_ATTR_COMPILED)
+    if cp is not None:
+        return cp
+    key = program_key(program)
+    cp = _compiled.get(key)
+    if cp is None:
+        cp = CompiledProgram(program)
+        _compiled[key] = cp
+    setattr(program, _ATTR_COMPILED, cp)
+    return cp
+
+
+def compiled_suite(program: A.Program, stmt: A.Stmt) -> CompiledSuite:
+    """The (cached) compiled form of one statement of ``program``,
+    executed against a live interpreter environment (kernel bodies)."""
+    cached = stmt.__dict__.get(_ATTR_SUITE)
+    cp = compiled_program(program)
+    if cached is not None and cached.cp is cp:
+        return cached
+    suite = CompiledSuite(stmt, cp)
+    setattr(stmt, _ATTR_SUITE, suite)
+    return suite
+
+
+def strlit_buffers(program: A.Program) -> dict[int, Any]:
+    """The per-program string-literal Buffer table (tree backend).
+
+    Shared across interpreter instances of the same Program object, so
+    the GPU executor's one-interpreter-per-thread pattern stops
+    re-allocating literal buffers. Literal buffers are effectively
+    read-only (format strings, comparison operands)."""
+    cache = program.__dict__.get(_ATTR_STRLITS)
+    if cache is None:
+        cache = {}
+        setattr(program, _ATTR_STRLITS, cache)
+    return cache
+
+
+def cached_translation(
+    program: A.Program,
+    opt_key: tuple,
+    warp_size: int,
+    map_only: bool,
+    build: Callable[[], Any],
+) -> Any:
+    """Memoize ``build()`` (a translate() call) under the program's
+    source hash + optimization flags + launch parameters."""
+    key = (program_key(program), opt_key, warp_size, map_only)
+    result = _translations.get(key)
+    if result is None:
+        result = build()
+        _translations[key] = result
+    return result
+
+
+def clear_caches() -> None:
+    """Drop all memoized artifacts (test isolation helper)."""
+    _compiled.clear()
+    _translations.clear()

@@ -1,0 +1,1388 @@
+"""Closure-compilation backend for mini-C.
+
+The tree-walking interpreter dispatches ``getattr(self, f"_eval_...")``
+per AST node and signals ``break``/``continue``/``return`` with
+exceptions — per-*record* costs that dominate wall-clock on the map and
+combine hot paths. This module walks a :class:`~repro.minic.cast.Program`
+**once** and emits nested Python closures per node:
+
+* operators are pre-resolved to per-op functions (no ``op`` string
+  comparisons at run time),
+* variables live in flat frame *slots* resolved lexically at compile
+  time (no scope-chain dict lookups),
+* loops use Python-native control flow with sentinel return values
+  (``_BREAK``/``_CONT``/``_Return``) instead of exceptions,
+* :class:`~repro.minic.interpreter.ExecCounters` accounting is batched
+  per basic block: every increment that is unconditional for a run of
+  simple statements is folded into one flush at the head of the run.
+
+Every closure has the signature ``fn(rt, frame)`` where ``rt`` is the
+shared :class:`Runtime` (counters, builtins, globals, the facade
+interpreter handed to builtins, the GPU charge hook) and ``frame`` is a
+flat ``list`` of :class:`~repro.minic.values.Cell` slots.
+
+Counter totals and functional outputs are bit-identical to the
+tree-walker for runs that complete; aborted runs (``CRuntimeError``)
+may differ only in counts attributable to the aborted basic block.
+
+The public entry points are :class:`CompiledProgram` (whole programs,
+``main()``-style execution) and :class:`CompiledSuite` (a single
+statement executed against a facade interpreter's live environment —
+the GPU kernel-body case). Both are cached per program / per statement
+by :mod:`repro.minic.cache`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..errors import CRuntimeError
+from . import cast as A
+from . import ctypes as T
+from .values import NULL, Buffer, Cell, Ptr, ScalarRef, truthy
+
+# --------------------------------------------------------------------------
+# Control-flow sentinels
+# --------------------------------------------------------------------------
+
+#: Statement closures return None (fell through), one of these two
+#: sentinels, or a _Return box. Plain ``is`` checks replace the
+#: tree-walker's exception unwinding.
+_BREAK = object()
+_CONT = object()
+
+
+class _Return:
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+
+_RETURN_NONE = _Return(None)
+
+
+# --------------------------------------------------------------------------
+# Runtime context
+# --------------------------------------------------------------------------
+
+
+class Runtime:
+    """Mutable per-execution state shared by all closures of one run.
+
+    ``facade`` is the :class:`~repro.minic.interpreter.Interpreter`
+    whose builtins/streams/heap the compiled code must use — builtins
+    keep their ``fn(interp, args)`` signature unchanged. ``charge`` is
+    the GPU executor's ``_charge_access`` bound method when the facade
+    is a :class:`~repro.gpu.executor.GpuInterpreter`, else None.
+    """
+
+    __slots__ = ("facade", "counters", "builtins", "globals", "charge",
+                 "funcs", "steps", "max_steps")
+
+    def __init__(self, facade: Any, funcs: dict[str, Callable]):
+        self.facade = facade
+        self.counters = facade.counters
+        self.builtins = facade.builtins
+        self.globals = facade._globals
+        self.charge = getattr(facade, "_charge_access", None)
+        self.funcs = funcs
+        self.steps = facade._steps
+        self.max_steps = facade.max_steps
+
+
+# --------------------------------------------------------------------------
+# Batched counter accounting
+# --------------------------------------------------------------------------
+
+
+class _Counts:
+    """Compile-time accumulator of unconditional counter increments."""
+
+    __slots__ = ("ops", "loads", "stores", "branches", "calls")
+
+    def __init__(self) -> None:
+        self.ops = 0
+        self.loads = 0
+        self.stores = 0
+        self.branches = 0
+        self.calls = 0
+
+    def add(self, other: "_Counts") -> None:
+        self.ops += other.ops
+        self.loads += other.loads
+        self.stores += other.stores
+        self.branches += other.branches
+        self.calls += other.calls
+
+
+def _flush_pairs(cnt: _Counts) -> list[tuple[str, int]]:
+    return [(attr, value)
+            for attr in ("ops", "loads", "stores", "branches", "calls")
+            if (value := getattr(cnt, attr))]
+
+
+def _make_flush(cnt: _Counts) -> Callable[[Any], None] | None:
+    """A single multi-attribute ExecCounters increment, or None if empty.
+
+    The increments are exec-stamped straight-line code: flushes run once
+    per executed statement run / loop iteration, so five zero-checks per
+    call add up. Attribute names and values are compile-time constants
+    (fixed field list, int counts), never program text."""
+    pairs = _flush_pairs(cnt)
+    if not pairs:
+        return None
+    body = "".join(f"    c.{attr} += {value}\n" for attr, value in pairs)
+    env: dict[str, Any] = {}
+    exec(compile(f"def flush(c):\n{body}", "<minic-flush>", "exec"), env)
+    return env["flush"]
+
+
+def _codegen_call_site(specs: tuple, name: str, void: bool) -> Callable:
+    """exec-compile one call site into straight-line argument code.
+
+    Call arguments are the hottest spot in compiled programs (every
+    ``getWord``/``scanf``/``printf`` in a record loop lands here), so
+    instead of looping over the spec tuple at run time we stamp out one
+    Python function per call site with each argument fetched inline:
+
+    * kind 0 — frame-slot read with the null-cell check and Buffer
+      decay expanded in place;
+    * kind 1 — compile-time constant, referenced straight from the
+      generated function's globals (zero per-call work);
+    * kind 2 — a generic compiled-expression closure invocation.
+
+    Evaluation stays left-to-right, matching the tree-walker. Nothing
+    from the source program is interpolated into the generated text —
+    slots, constants, closures and messages all travel via the exec
+    globals dict — so arbitrary identifiers cannot inject code.
+    """
+    env: dict[str, Any] = {
+        "CRuntimeError": CRuntimeError,
+        "Buffer": Buffer,
+        "_name": name,
+        "_undef_msg": f"call to undefined function {name!r}",
+    }
+    body: list[str] = []
+    argv: list[str] = []
+    for i, (kind, a, b) in enumerate(specs):
+        if kind == 0:
+            env[f"_s{i}"] = a
+            env[f"_m{i}"] = f"undeclared identifier {b!r}"
+            body += [
+                f"        c{i} = frame[_s{i}]",
+                f"        if c{i} is None:",
+                f"            raise CRuntimeError(_m{i})",
+                f"        v{i} = c{i}.value",
+                f"        if v{i}.__class__ is Buffer:",
+                f"            v{i} = v{i}.decay_ptr()",
+            ]
+            argv.append(f"v{i}")
+        elif kind == 1:
+            env[f"_k{i}"] = a
+            argv.append(f"_k{i}")
+        else:
+            env[f"_f{i}"] = a
+            body.append(f"        v{i} = _f{i}(rt, frame)")
+            argv.append(f"v{i}")
+    args = "[" + ", ".join(argv) + "]"
+    ret = "None" if void else "result"
+    # The builtin lookup is memoized per call site on the identity of
+    # rt.builtins: builtins dicts are built before an interpreter runs
+    # and never mutated afterwards, and the strong reference pins the
+    # dict so the identity check cannot alias a recycled id.
+    src = "\n".join([
+        "def _factory():",
+        "    last_bi = None",
+        "    last_fn = None",
+        "    def call(rt, frame):",
+        "        nonlocal last_bi, last_fn",
+        *body,
+        "        bi = rt.builtins",
+        "        if bi is not last_bi:",
+        "            last_bi = bi",
+        "            last_fn = bi.get(_name)",
+        "        builtin = last_fn",
+        "        if builtin is not None:",
+        f"            result = builtin(rt.facade, {args})",
+        f"            return {ret}",
+        "        func = rt.funcs.get(_name)",
+        "        if func is None:",
+        "            raise CRuntimeError(_undef_msg)",
+        f"        result = func(rt, {args})",
+        f"        return {ret}",
+        "    return call",
+    ])
+    exec(compile(src, "<minic-call-site>", "exec"), env)
+    return env["_factory"]()
+
+
+# --------------------------------------------------------------------------
+# Pre-resolved operators (tree-walker _binop/_ptr_binop semantics)
+# --------------------------------------------------------------------------
+
+
+def _ptr_binop(op: str, left: Any, right: Any) -> Any:
+    if op == "+" and isinstance(left, Ptr):
+        return left.add(int(right))
+    if op == "+" and isinstance(right, Ptr):
+        return right.add(int(left))
+    if op == "-" and isinstance(left, Ptr) and isinstance(right, Ptr):
+        if left.buffer is not right.buffer:
+            raise CRuntimeError("pointer difference across buffers")
+        return left.offset - right.offset
+    if op == "-" and isinstance(left, Ptr):
+        return left.add(-int(right))
+    if op in ("==", "!="):
+        same = (
+            isinstance(left, Ptr)
+            and isinstance(right, Ptr)
+            and left.buffer is right.buffer
+            and (left.buffer is None or left.offset == right.offset)
+        )
+        if isinstance(left, Ptr) and isinstance(right, int):
+            same = left.is_null and right == 0
+        if isinstance(right, Ptr) and isinstance(left, int):
+            same = right.is_null and left == 0
+        return int(same if op == "==" else not same)
+    raise CRuntimeError(f"unsupported pointer operation {op!r}")
+
+
+def _c_div(left: Any, right: Any) -> Any:
+    if right == 0:
+        raise CRuntimeError("division by zero")
+    if isinstance(left, int) and isinstance(right, int):
+        q = abs(left) // abs(right)
+        return q if (left < 0) == (right < 0) else -q
+    return left / right
+
+
+def _c_mod(left: Any, right: Any) -> Any:
+    if right == 0:
+        raise CRuntimeError("modulo by zero")
+    r = abs(left) % abs(right)
+    return r if left >= 0 else -r
+
+
+def _mk_binop(op: str, apply: Callable[[Any, Any], Any]) -> Callable:
+    # fp check precedes pointer dispatch, exactly like Interpreter._binop.
+    # Exact int/float operand classes take the fast paths (the interpreter
+    # only ever produces exact ints/floats/Ptrs); the generic tail keeps
+    # the tree-walker's isinstance semantics for anything else.
+    def binop(rt: Runtime, left: Any, right: Any) -> Any:
+        lc = left.__class__
+        rc = right.__class__
+        if lc is int:
+            if rc is int:
+                return apply(left, right)
+            if rc is float:
+                rt.counters.fp_ops += 1
+                return apply(left, right)
+        elif lc is float:
+            if rc is int or rc is float:
+                rt.counters.fp_ops += 1
+                return apply(left, right)
+        if isinstance(left, float) or isinstance(right, float):
+            rt.counters.fp_ops += 1
+        if isinstance(left, Ptr) or isinstance(right, Ptr):
+            return _ptr_binop(op, left, right)
+        return apply(left, right)
+
+    return binop
+
+
+#: Raw two-operand appliers — the int/int (and generic) arithmetic the
+#: dispatching wrapper in :data:`_BINOPS` falls through to. The binary
+#: closures inline these directly when both operands are exact ints,
+#: skipping one call level on the hottest path.
+_APPLY: dict[str, Callable] = {
+    "+": lambda l, r: l + r,
+    "-": lambda l, r: l - r,
+    "*": lambda l, r: l * r,
+    "/": _c_div,
+    "%": _c_mod,
+    "==": lambda l, r: int(l == r),
+    "!=": lambda l, r: int(l != r),
+    "<": lambda l, r: int(l < r),
+    ">": lambda l, r: int(l > r),
+    "<=": lambda l, r: int(l <= r),
+    ">=": lambda l, r: int(l >= r),
+    "&": lambda l, r: int(l) & int(r),
+    "|": lambda l, r: int(l) | int(r),
+    "^": lambda l, r: int(l) ^ int(r),
+    "<<": lambda l, r: int(l) << int(r),
+    ">>": lambda l, r: int(l) >> int(r),
+}
+
+_BINOPS: dict[str, Callable] = {
+    op: _mk_binop(op, fn) for op, fn in _APPLY.items()
+}
+
+
+def _binop_fn(op: str) -> Callable:
+    try:
+        return _BINOPS[op]
+    except KeyError:
+        raise CRuntimeError(f"unsupported operator {op!r}") from None
+
+
+def _as_ptr(value: Any) -> Ptr:
+    if isinstance(value, Ptr):
+        if value.buffer is None:
+            raise CRuntimeError("null pointer indexed")
+        return value
+    if isinstance(value, Buffer):
+        return Ptr(value, 0)
+    raise CRuntimeError(f"expected a pointer, got {value!r}")
+
+
+def _noop(rt: Runtime, frame: list) -> None:
+    return None
+
+
+def _param_coerce(ctype: T.CType) -> Callable[[Any], Any]:
+    if ctype.is_float:
+        return lambda a: a if isinstance(a, (Ptr, Buffer)) else float(a)
+    if ctype.is_integer:
+        return lambda a: a if isinstance(a, (Ptr, Buffer)) else int(a)
+    return lambda a: a
+
+
+def _flatten_array(ctype: T.Array, name: str) -> tuple[T.CType, int, int | None]:
+    """(element type, flat size, inner row length) — 2-D max, row-major."""
+    base = ctype.base
+    size = ctype.size or 0
+    inner: int | None = None
+    if isinstance(base, T.Array):
+        inner = base.size or 0
+        size *= inner
+        base = base.base
+        if isinstance(base, T.Array):
+            raise CRuntimeError(
+                f"arrays of more than two dimensions unsupported ({name})"
+            )
+    return base, size, inner
+
+
+# --------------------------------------------------------------------------
+# The compiler
+# --------------------------------------------------------------------------
+
+
+class _FunctionCompiler:
+    """Compiles one function body (or one free-standing suite) to closures.
+
+    Slot resolution is lexical: every declaration gets a fresh frame
+    slot; a name not declared in any enclosing compile-time scope is a
+    *free* variable, bound once at entry (from the program globals for
+    functions, from the facade's live scope chain for suites). A free
+    name that resolves to nothing stays ``None`` in its slot and raises
+    the tree-walker's "undeclared identifier" lazily on first access —
+    preserving reachability semantics.
+    """
+
+    def __init__(self, cp: "CompiledProgram"):
+        self.cp = cp
+        self.scopes: list[dict[str, int]] = []
+        self.nslots = 0
+        self.free: dict[str, int] = {}
+
+    # -- slots -----------------------------------------------------------
+
+    def _new_slot(self) -> int:
+        slot = self.nslots
+        self.nslots += 1
+        return slot
+
+    def declare(self, name: str) -> int:
+        slot = self._new_slot()
+        self.scopes[-1][name] = slot
+        return slot
+
+    def slot_for(self, name: str) -> int:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        slot = self.free.get(name)
+        if slot is None:
+            slot = self._new_slot()
+            self.free[name] = slot
+        return slot
+
+    # -- statements ------------------------------------------------------
+
+    def compile_stmt(self, stmt: A.Stmt) -> tuple[Callable, _Counts]:
+        method = getattr(self, f"_stmt_{type(stmt).__name__}", None)
+        if method is None:
+            raise CRuntimeError(f"cannot execute {type(stmt).__name__}")
+        return method(stmt)
+
+    def _flushed_stmt(self, stmt: A.Stmt) -> Callable:
+        """A statement closure that flushes its own batched counts.
+
+        The counter increments are exec-fused into the statement
+        wrapper, saving a flush-closure call per execution."""
+        fn, cnt = self.compile_stmt(stmt)
+        pairs = _flush_pairs(cnt)
+        if not pairs:
+            return fn
+        body = "".join(f"    c.{attr} += {value}\n" for attr, value in pairs)
+        src = (f"def run(rt, frame):\n"
+               f"    c = rt.counters\n{body}"
+               f"    return fn(rt, frame)\n")
+        env: dict[str, Any] = {"fn": fn}
+        exec(compile(src, "<minic-flush>", "exec"), env)
+        return env["run"]
+
+    def _stmt_Block(self, stmt: A.Block) -> tuple[Callable, _Counts]:
+        self.scopes.append({})
+        seq: list[Callable] = []
+        run_start: int | None = None
+        pending = _Counts()
+
+        def close_run() -> None:
+            nonlocal run_start, pending
+            if run_start is not None:
+                pairs = _flush_pairs(pending)
+                if pairs:
+                    body = "".join(f"    c.{attr} += {value}\n"
+                                   for attr, value in pairs)
+                    env: dict[str, Any] = {}
+                    if run_start < len(seq):
+                        # Fuse the run's counts into its first statement
+                        # (simple statements never signal an early exit).
+                        env["fn"] = seq[run_start]
+                        src = (f"def flush_stmt(rt, frame):\n"
+                               f"    c = rt.counters\n{body}"
+                               f"    return fn(rt, frame)\n")
+                        exec(compile(src, "<minic-flush>", "exec"), env)
+                        seq[run_start] = env["flush_stmt"]
+                    else:
+                        src = (f"def flush_stmt(rt, frame):\n"
+                               f"    c = rt.counters\n{body}"
+                               f"    return None\n")
+                        exec(compile(src, "<minic-flush>", "exec"), env)
+                        seq.append(env["flush_stmt"])
+                run_start = None
+                pending = _Counts()
+
+        for inner in stmt.stmts:
+            fn, cnt = self.compile_stmt(inner)
+            if isinstance(inner, (A.DeclStmt, A.ExprStmt)):
+                # Simple statements cannot exit the block early: their
+                # unconditional counts batch into one flush at run head.
+                if run_start is None:
+                    run_start = len(seq)
+                pending.add(cnt)
+                if fn is not _noop:
+                    seq.append(fn)
+            else:
+                close_run()
+                seq.append(fn)
+        close_run()
+        self.scopes.pop()
+
+        if not seq:
+            return _noop, _Counts()
+        if len(seq) == 1:
+            return seq[0], _Counts()
+        fns = tuple(seq)
+
+        def block(rt: Runtime, frame: list) -> Any:
+            for fn in fns:
+                sig = fn(rt, frame)
+                if sig is not None:
+                    return sig
+            return None
+
+        return block, _Counts()
+
+    def _stmt_DeclStmt(self, stmt: A.DeclStmt) -> tuple[Callable, _Counts]:
+        cnt = _Counts()
+        fns: list[Callable] = []
+        for decl in stmt.decls:
+            init_fn = None
+            if decl.init is not None:
+                init_fn, icnt = self.compile_expr(decl.init)
+                cnt.add(icnt)
+            # The slot is created *after* compiling the initializer, so
+            # `int x = x + 1;` resolves the rhs to the outer binding,
+            # matching the tree-walker's execution-order declare.
+            slot = self.declare(decl.name)
+            ctype = decl.ctype
+            if isinstance(ctype, T.Array):
+                if isinstance(ctype.base, T.Array) and \
+                        isinstance(ctype.base.base, T.Array):
+                    # The tree-walker evaluates the initializer, then
+                    # raises from _alloc_array at execution time.
+                    def decl_3d(rt: Runtime, frame: list,
+                                _init: Callable | None = init_fn,
+                                _name: str = decl.name) -> None:
+                        if _init is not None:
+                            _init(rt, frame)
+                        raise CRuntimeError(
+                            "arrays of more than two dimensions unsupported "
+                            f"({_name})"
+                        )
+
+                    fns.append(decl_3d)
+                    continue
+                base, size, inner = _flatten_array(ctype, decl.name)
+                if init_fn is not None:
+                    # The tree-walker allocates, then rejects the
+                    # initializer — after evaluating it.
+                    def decl_arr_bad(rt: Runtime, frame: list,
+                                     _init: Callable = init_fn,
+                                     _name: str = decl.name) -> None:
+                        _init(rt, frame)
+                        raise CRuntimeError(
+                            f"array initializers unsupported ({_name})"
+                        )
+
+                    fns.append(decl_arr_bad)
+                    continue
+
+                def decl_arr(rt: Runtime, frame: list, _slot: int = slot,
+                             _base: T.CType = base, _size: int = size,
+                             _inner: int | None = inner,
+                             _name: str = decl.name,
+                             _ctype: T.CType = ctype) -> None:
+                    buf = Buffer(_base, _size, label=_name)
+                    buf.inner_dim = _inner
+                    frame[_slot] = Cell(value=buf, ctype=_ctype)
+                    return None
+
+                fns.append(decl_arr)
+            else:
+                if ctype.is_pointer:
+                    default: Any = NULL
+                elif ctype.is_float:
+                    default = 0.0
+                else:
+                    default = 0
+                if init_fn is not None:
+                    if ctype.is_float:
+                        coerce: Callable[[Any], Any] = float
+                    elif ctype.is_integer:
+                        coerce = int
+                    else:
+                        coerce = lambda v: v  # noqa: E731
+
+                    # A void-call initializer yields None; the tree-walker
+                    # then keeps the declaration default.
+                    def decl_init(rt: Runtime, frame: list, _slot: int = slot,
+                                  _init: Callable = init_fn,
+                                  _coerce: Callable = coerce,
+                                  _default: Any = default,
+                                  _ctype: T.CType = ctype) -> None:
+                        value = _init(rt, frame)
+                        frame[_slot] = Cell(
+                            value=_default if value is None else _coerce(value),
+                            ctype=_ctype,
+                        )
+                        return None
+
+                    fns.append(decl_init)
+                else:
+                    def decl_plain(rt: Runtime, frame: list,
+                                   _slot: int = slot, _default: Any = default,
+                                   _ctype: T.CType = ctype) -> None:
+                        frame[_slot] = Cell(value=_default, ctype=_ctype)
+                        return None
+
+                    fns.append(decl_plain)
+
+        if len(fns) == 1:
+            return fns[0], cnt
+        seq = tuple(fns)
+
+        def decls(rt: Runtime, frame: list) -> None:
+            for fn in seq:
+                fn(rt, frame)
+            return None
+
+        return decls, cnt
+
+    def _stmt_ExprStmt(self, stmt: A.ExprStmt) -> tuple[Callable, _Counts]:
+        expr = stmt.expr
+        if expr is None:
+            return _noop, _Counts()
+        # Statement-position expressions discard their value; the hot
+        # forms get void closures that return None directly (a legal
+        # "fell through" statement signal), skipping both the result
+        # read-back and the discard wrapper.
+        if isinstance(expr, A.Assign):
+            return self._compile_assign(expr, void=True)
+        if isinstance(expr, A.PostfixOp) and isinstance(expr.operand, A.Ident):
+            cnt = _Counts()
+            cnt.ops += 1
+            delta = 1 if expr.op == "++" else -1
+            return self._incdec_ident(expr.operand.name, delta,
+                                      post=True, void=True), cnt
+        if isinstance(expr, A.UnaryOp) and expr.op in ("++", "--") \
+                and isinstance(expr.operand, A.Ident):
+            delta = 1 if expr.op == "++" else -1
+            return self._incdec_ident(expr.operand.name, delta,
+                                      post=False, void=True), _Counts()
+        if isinstance(expr, A.Call):
+            return self._compile_call(expr, void=True)
+        fn, cnt = self.compile_expr(expr)
+
+        def run(rt: Runtime, frame: list) -> None:
+            fn(rt, frame)
+            return None
+
+        return run, cnt
+
+    def _stmt_If(self, stmt: A.If) -> tuple[Callable, _Counts]:
+        cond_fn, cnt = self.compile_expr(stmt.cond)
+        cnt.branches += 1
+        flush = _make_flush(cnt)
+        assert flush is not None  # branches >= 1
+        then_fn = self._flushed_stmt(stmt.then)
+        if stmt.otherwise is not None:
+            else_fn = self._flushed_stmt(stmt.otherwise)
+
+            def if_else(rt: Runtime, frame: list) -> Any:
+                flush(rt.counters)
+                cond = cond_fn(rt, frame)
+                if cond if cond.__class__ is int else truthy(cond):
+                    return then_fn(rt, frame)
+                return else_fn(rt, frame)
+
+            return if_else, _Counts()
+
+        def if_only(rt: Runtime, frame: list) -> Any:
+            flush(rt.counters)
+            cond = cond_fn(rt, frame)
+            if cond if cond.__class__ is int else truthy(cond):
+                return then_fn(rt, frame)
+            return None
+
+        return if_only, _Counts()
+
+    def _stmt_While(self, stmt: A.While) -> tuple[Callable, _Counts]:
+        cond_fn, cnt = self.compile_expr(stmt.cond)
+        cnt.branches += 1
+        cond_flush = _make_flush(cnt)
+        assert cond_flush is not None
+        body_fn = self._flushed_stmt(stmt.body)
+
+        def while_loop(rt: Runtime, frame: list) -> Any:
+            counters = rt.counters
+            max_steps = rt.max_steps
+            while True:
+                rt.steps = steps = rt.steps + 1
+                if steps > max_steps:
+                    raise CRuntimeError(
+                        f"execution exceeded {max_steps} steps (runaway loop?)"
+                    )
+                cond_flush(counters)
+                cond = cond_fn(rt, frame)
+                if not (cond if cond.__class__ is int else truthy(cond)):
+                    return None
+                sig = body_fn(rt, frame)
+                if sig is not None:
+                    if sig is _BREAK:
+                        return None
+                    if sig is not _CONT:
+                        return sig
+
+        return while_loop, _Counts()
+
+    def _stmt_For(self, stmt: A.For) -> tuple[Callable, _Counts]:
+        self.scopes.append({})
+        init_fn = self._flushed_stmt(stmt.init) if stmt.init is not None else None
+        cond_fn = None
+        cond_flush = None
+        if stmt.cond is not None:
+            cond_fn, ccnt = self.compile_expr(stmt.cond)
+            ccnt.branches += 1
+            cond_flush = _make_flush(ccnt)
+        step_fn = None
+        step_flush = None
+        if stmt.step is not None:
+            step_fn, scnt = self.compile_expr(stmt.step)
+            step_flush = _make_flush(scnt)
+        body_fn = self._flushed_stmt(stmt.body)
+        self.scopes.pop()
+
+        def for_loop(rt: Runtime, frame: list) -> Any:
+            counters = rt.counters
+            max_steps = rt.max_steps
+            if init_fn is not None:
+                init_fn(rt, frame)
+            while True:
+                rt.steps = steps = rt.steps + 1
+                if steps > max_steps:
+                    raise CRuntimeError(
+                        f"execution exceeded {max_steps} steps (runaway loop?)"
+                    )
+                if cond_fn is not None:
+                    cond_flush(counters)
+                    cond = cond_fn(rt, frame)
+                    if not (cond if cond.__class__ is int
+                            else truthy(cond)):
+                        return None
+                sig = body_fn(rt, frame)
+                if sig is not None:
+                    if sig is _BREAK:
+                        return None
+                    if sig is not _CONT:
+                        return sig
+                # break skips the step; continue runs it (tree-walker order)
+                if step_fn is not None:
+                    if step_flush is not None:
+                        step_flush(counters)
+                    step_fn(rt, frame)
+
+        return for_loop, _Counts()
+
+    def _stmt_Return(self, stmt: A.Return) -> tuple[Callable, _Counts]:
+        if stmt.value is None:
+            def ret_void(rt: Runtime, frame: list) -> _Return:
+                return _RETURN_NONE
+
+            return ret_void, _Counts()
+        value_fn, cnt = self.compile_expr(stmt.value)
+        flush = _make_flush(cnt)
+        if flush is None:
+            def ret_plain(rt: Runtime, frame: list) -> _Return:
+                return _Return(value_fn(rt, frame))
+
+            return ret_plain, _Counts()
+
+        def ret(rt: Runtime, frame: list) -> _Return:
+            flush(rt.counters)
+            return _Return(value_fn(rt, frame))
+
+        return ret, _Counts()
+
+    def _stmt_Break(self, stmt: A.Break) -> tuple[Callable, _Counts]:
+        def brk(rt: Runtime, frame: list) -> Any:
+            return _BREAK
+
+        return brk, _Counts()
+
+    def _stmt_Continue(self, stmt: A.Continue) -> tuple[Callable, _Counts]:
+        def cont(rt: Runtime, frame: list) -> Any:
+            return _CONT
+
+        return cont, _Counts()
+
+    # -- expressions -----------------------------------------------------
+
+    def compile_expr(self, expr: A.Expr) -> tuple[Callable, _Counts]:
+        method = getattr(self, f"_expr_{type(expr).__name__}", None)
+        if method is None:
+            raise CRuntimeError(f"cannot evaluate {type(expr).__name__}")
+        return method(expr)
+
+    def _flushed_expr(self, expr: A.Expr) -> Callable:
+        """An expression closure that flushes its own batched counts —
+        for conditionally-evaluated subexpressions (&&/|| rhs, ?: arms)."""
+        fn, cnt = self.compile_expr(expr)
+        flush = _make_flush(cnt)
+        if flush is None:
+            return fn
+
+        def run(rt: Runtime, frame: list) -> Any:
+            flush(rt.counters)
+            return fn(rt, frame)
+
+        return run
+
+    def _const(self, value: Any) -> tuple[Callable, _Counts]:
+        def const(rt: Runtime, frame: list) -> Any:
+            return value
+
+        return const, _Counts()
+
+    def _expr_IntLit(self, expr: A.IntLit) -> tuple[Callable, _Counts]:
+        return self._const(expr.value)
+
+    def _expr_FloatLit(self, expr: A.FloatLit) -> tuple[Callable, _Counts]:
+        return self._const(expr.value)
+
+    def _expr_CharLit(self, expr: A.CharLit) -> tuple[Callable, _Counts]:
+        return self._const(expr.value)
+
+    def _expr_SizeofType(self, expr: A.SizeofType) -> tuple[Callable, _Counts]:
+        return self._const(expr.of_type.sizeof())
+
+    def _expr_StringLit(self, expr: A.StringLit) -> tuple[Callable, _Counts]:
+        # One Buffer per literal per program, baked in at compile time.
+        ptr = self.cp.strlit_ptr(expr)
+        return self._const(ptr)
+
+    def _expr_Ident(self, expr: A.Ident) -> tuple[Callable, _Counts]:
+        slot = self.slot_for(expr.name)
+        name = expr.name
+
+        def ident(rt: Runtime, frame: list) -> Any:
+            cell = frame[slot]
+            if cell is None:
+                raise CRuntimeError(f"undeclared identifier {name!r}")
+            value = cell.value
+            if value.__class__ is Buffer:
+                return value.decay_ptr()  # array decay
+            return value
+
+        return ident, _Counts()
+
+    def _expr_Cast(self, expr: A.Cast) -> tuple[Callable, _Counts]:
+        operand_fn, cnt = self.compile_expr(expr.operand)
+        to = expr.to_type
+        if to.is_pointer:
+            return operand_fn, cnt  # pointer reinterpretation is a no-op
+        if to.is_float:
+            def cast_float(rt: Runtime, frame: list) -> float:
+                return float(operand_fn(rt, frame))
+
+            return cast_float, cnt
+        if to.is_integer:
+            is_char = to == T.CHAR
+
+            def cast_int(rt: Runtime, frame: list) -> int:
+                value = operand_fn(rt, frame)
+                if isinstance(value, float):
+                    return int(value)
+                if is_char:
+                    return int(value) & 0xFF
+                return int(value)
+
+            return cast_int, cnt
+        return operand_fn, cnt
+
+    def _expr_Index(self, expr: A.Index) -> tuple[Callable, _Counts]:
+        base_fn, cnt = self.compile_expr(expr.base)
+        index_fn, icnt = self.compile_expr(expr.index)
+        cnt.add(icnt)
+
+        # loads (and the GPU charge) depend on the runtime stride, so
+        # they stay inline rather than batching.
+        def index(rt: Runtime, frame: list) -> Any:
+            ptr = base_fn(rt, frame)
+            if ptr.__class__ is not Ptr:
+                ptr = _as_ptr(ptr)
+            elif ptr.buffer is None:
+                raise CRuntimeError("null pointer indexed")
+            idx = index_fn(rt, frame)
+            if idx.__class__ is not int:
+                idx = int(idx)
+            if ptr.stride > 1:  # row of a flattened 2-D array
+                return Ptr(ptr.buffer, ptr.offset + idx * ptr.stride, 1)
+            rt.counters.loads += 1
+            charge = rt.charge
+            if charge is not None:
+                charge(ptr.buffer, False)
+            # Inlined Buffer.read: the _check call is the hot-path cost.
+            buf = ptr.buffer
+            off = ptr.offset + idx
+            if buf.freed or not 0 <= off < buf.size:
+                buf._check(off)  # raises the canonical error
+            return buf.data[off]
+
+        return index, cnt
+
+    def _expr_Call(self, expr: A.Call) -> tuple[Callable, _Counts]:
+        return self._compile_call(expr, void=False)
+
+    def _compile_call(self, expr: A.Call,
+                      void: bool) -> tuple[Callable, _Counts]:
+        cnt = _Counts()
+        cnt.calls += 1
+        # Argument specs: most call arguments are plain identifiers or
+        # literals (getWord(line, off, word, read, N)), so those are
+        # fetched inline in the call closure instead of paying one
+        # compiled-closure invocation each.
+        #   kind 0 → frame slot read (a=slot, b=name, Buffer decays)
+        #   kind 1 → compile-time constant (a=value)
+        #   kind 2 → generic compiled expression (a=closure)
+        specs = []
+        for arg in expr.args:
+            if type(arg) is A.Ident:
+                specs.append((0, self.slot_for(arg.name), arg.name))
+            elif type(arg) is A.IntLit or type(arg) is A.FloatLit \
+                    or type(arg) is A.CharLit:
+                specs.append((1, arg.value, None))
+            elif type(arg) is A.StringLit:
+                specs.append((1, self.cp.strlit_ptr(arg), None))
+            else:
+                fn, acnt = self.compile_expr(arg)
+                cnt.add(acnt)
+                specs.append((2, fn, None))
+        return _codegen_call_site(tuple(specs), expr.func, void), cnt
+
+    def _expr_UnaryOp(self, expr: A.UnaryOp) -> tuple[Callable, _Counts]:
+        op = expr.op
+        if op == "&":
+            return self.compile_lvalue(expr.operand)
+        if op == "*":
+            operand_fn, cnt = self.compile_expr(expr.operand)
+            cnt.loads += 1
+
+            def deref(rt: Runtime, frame: list) -> Any:
+                value = operand_fn(rt, frame)
+                if isinstance(value, (Ptr, ScalarRef)):
+                    return value.deref()
+                raise CRuntimeError(f"cannot dereference {value!r}")
+
+            return deref, cnt
+        if op in ("++", "--"):
+            # Prefix inc/dec: the tree-walker counts no op here.
+            delta = 1 if op == "++" else -1
+            if isinstance(expr.operand, A.Ident):
+                fn = self._incdec_ident(expr.operand.name, delta, post=False)
+                return fn, _Counts()
+            ref_fn, cnt = self.compile_lvalue(expr.operand)
+
+            def prefix(rt: Runtime, frame: list) -> Any:
+                ref = ref_fn(rt, frame)
+                value = ref.deref()
+                new = value.add(delta) if isinstance(value, Ptr) \
+                    else value + delta
+                ref.store(new)
+                return new
+
+            return prefix, cnt
+        operand_fn, cnt = self.compile_expr(expr.operand)
+        cnt.ops += 1
+        if op == "-":
+            def neg(rt: Runtime, frame: list) -> Any:
+                return -operand_fn(rt, frame)
+
+            return neg, cnt
+        if op == "!":
+            def lnot(rt: Runtime, frame: list) -> int:
+                return int(not truthy(operand_fn(rt, frame)))
+
+            return lnot, cnt
+        if op == "~":
+            def inv(rt: Runtime, frame: list) -> int:
+                return ~int(operand_fn(rt, frame))
+
+            return inv, cnt
+        raise CRuntimeError(f"unsupported unary {op!r}")
+
+    def _expr_PostfixOp(self, expr: A.PostfixOp) -> tuple[Callable, _Counts]:
+        delta = 1 if expr.op == "++" else -1
+        if isinstance(expr.operand, A.Ident):
+            cnt = _Counts()
+            cnt.ops += 1
+            fn = self._incdec_ident(expr.operand.name, delta, post=True)
+            return fn, cnt
+        ref_fn, cnt = self.compile_lvalue(expr.operand)
+        cnt.ops += 1
+
+        def postfix(rt: Runtime, frame: list) -> Any:
+            ref = ref_fn(rt, frame)
+            value = ref.deref()
+            new = value.add(delta) if isinstance(value, Ptr) else value + delta
+            ref.store(new)
+            return value
+
+        return postfix, cnt
+
+    def _incdec_ident(self, name: str, delta: int, post: bool,
+                      void: bool = False) -> Callable:
+        """``x++``/``--x`` on a plain variable: mutate the Cell in place.
+
+        The Buffer-valued case mirrors the generic path's Ptr(buf, 0)
+        ref (element 0 read-modify-write); the pre-coercion value is
+        returned exactly as the tree-walker's ref.store/return order
+        produces it."""
+        slot = self.slot_for(name)
+
+        def incdec(rt: Runtime, frame: list) -> Any:
+            cell = frame[slot]
+            if cell is None:
+                raise CRuntimeError(f"undeclared identifier {name!r}")
+            held = cell.value
+            if held.__class__ is Buffer:
+                value = held.read(0)
+                new = value.add(delta) if value.__class__ is Ptr \
+                    else value + delta
+                held.write(0, new)
+                return None if void else (value if post else new)
+            new = held.add(delta) if held.__class__ is Ptr else held + delta
+            ct = cell.ctype
+            stored = new
+            if ct is T.INT or ct is T.LONG or ct is T.SIZE_T:
+                if stored.__class__ is not int:
+                    stored = int(stored)
+            elif ct is T.FLOAT or ct is T.DOUBLE:
+                if stored.__class__ is not float:
+                    stored = float(stored)
+            elif ct.is_float:
+                stored = float(stored)
+            elif ct.is_integer:
+                stored = int(stored)
+            cell.value = stored
+            return None if void else (held if post else new)
+
+        return incdec
+
+    def _expr_Conditional(self, expr: A.Conditional) -> tuple[Callable, _Counts]:
+        cond_fn, cnt = self.compile_expr(expr.cond)
+        cnt.branches += 1
+        then_fn = self._flushed_expr(expr.then)
+        else_fn = self._flushed_expr(expr.otherwise)
+
+        def conditional(rt: Runtime, frame: list) -> Any:
+            cond = cond_fn(rt, frame)
+            if cond if cond.__class__ is int else truthy(cond):
+                return then_fn(rt, frame)
+            return else_fn(rt, frame)
+
+        return conditional, cnt
+
+    def _expr_Assign(self, expr: A.Assign) -> tuple[Callable, _Counts]:
+        return self._compile_assign(expr, void=False)
+
+    def _compile_assign(self, expr: A.Assign,
+                        void: bool) -> tuple[Callable, _Counts]:
+        # Scalar-variable targets skip the ScalarRef allocation and the
+        # per-store ctype property checks of the generic ref path; the
+        # Buffer-valued case keeps the tree-walker's Ptr(buf, 0) ref
+        # semantics (element 0 store, buffer-coerced read-back, charge
+        # against the buffer). ``void`` closures (statement position)
+        # return None instead of the assigned value and skip the
+        # side-effect-free result read-back.
+        if isinstance(expr.target, A.Ident):
+            slot = self.slot_for(expr.target.name)
+            name = expr.target.name
+            value_fn, cnt = self.compile_expr(expr.value)
+            cnt.stores += 1
+            if expr.op == "=":
+                def assign_ident(rt: Runtime, frame: list) -> Any:
+                    cell = frame[slot]
+                    if cell is None:
+                        raise CRuntimeError(f"undeclared identifier {name!r}")
+                    held = cell.value
+                    if held.__class__ is Buffer:
+                        held.write(0, value_fn(rt, frame))
+                        charge = rt.charge
+                        if charge is not None:
+                            charge(held, True)
+                        return None if void else held.read(0)
+                    value = value_fn(rt, frame)
+                    ct = cell.ctype
+                    if ct is T.INT or ct is T.LONG or ct is T.SIZE_T:
+                        if value.__class__ is not int:
+                            value = int(value)
+                    elif ct is T.FLOAT or ct is T.DOUBLE:
+                        if value.__class__ is not float:
+                            value = float(value)
+                    elif ct.is_float:
+                        value = float(value)
+                    elif ct.is_integer:
+                        value = int(value)
+                    cell.value = value
+                    charge = rt.charge
+                    if charge is not None:
+                        charge(None, True)
+                    return None if void else value
+
+                return assign_ident, cnt
+            binop = _binop_fn(expr.op[:-1])
+            cnt.ops += 1
+
+            def compound_ident(rt: Runtime, frame: list) -> Any:
+                cell = frame[slot]
+                if cell is None:
+                    raise CRuntimeError(f"undeclared identifier {name!r}")
+                held = cell.value
+                if held.__class__ is Buffer:
+                    value = value_fn(rt, frame)
+                    held.write(0, binop(rt, held.read(0), value))
+                    charge = rt.charge
+                    if charge is not None:
+                        charge(held, True)
+                    return None if void else held.read(0)
+                value = value_fn(rt, frame)
+                # ref.deref() happens after the rhs (tree-walker order).
+                new = binop(rt, cell.value, value)
+                ct = cell.ctype
+                if ct is T.INT or ct is T.LONG or ct is T.SIZE_T:
+                    if new.__class__ is not int:
+                        new = int(new)
+                elif ct is T.FLOAT or ct is T.DOUBLE:
+                    if new.__class__ is not float:
+                        new = float(new)
+                elif ct.is_float:
+                    new = float(new)
+                elif ct.is_integer:
+                    new = int(new)
+                cell.value = new
+                charge = rt.charge
+                if charge is not None:
+                    charge(None, True)
+                return None if void else new
+
+            return compound_ident, cnt
+        ref_fn, cnt = self.compile_lvalue(expr.target)
+        value_fn, vcnt = self.compile_expr(expr.value)
+        cnt.add(vcnt)
+        cnt.stores += 1
+        if expr.op == "=":
+            def assign(rt: Runtime, frame: list) -> Any:
+                ref = ref_fn(rt, frame)
+                ref.store(value_fn(rt, frame))
+                charge = rt.charge
+                if charge is not None:
+                    charge(ref.buffer if ref.__class__ is Ptr else None, True)
+                return None if void else ref.deref()
+
+            return assign, cnt
+        binop = _binop_fn(expr.op[:-1])
+        cnt.ops += 1
+
+        def compound(rt: Runtime, frame: list) -> Any:
+            ref = ref_fn(rt, frame)
+            value = value_fn(rt, frame)
+            ref.store(binop(rt, ref.deref(), value))
+            charge = rt.charge
+            if charge is not None:
+                charge(ref.buffer if ref.__class__ is Ptr else None, True)
+            return None if void else ref.deref()
+
+        return compound, cnt
+
+    def _expr_BinOp(self, expr: A.BinOp) -> tuple[Callable, _Counts]:
+        op = expr.op
+        if op == ",":
+            left_fn, cnt = self.compile_expr(expr.left)
+            right_fn, rcnt = self.compile_expr(expr.right)
+            cnt.add(rcnt)
+
+            def comma(rt: Runtime, frame: list) -> Any:
+                left_fn(rt, frame)
+                return right_fn(rt, frame)
+
+            return comma, cnt
+        if op in ("&&", "||"):
+            left_fn, cnt = self.compile_expr(expr.left)
+            cnt.ops += 1
+            right_fn = self._flushed_expr(expr.right)  # rhs is conditional
+            if op == "&&":
+                def land(rt: Runtime, frame: list) -> int:
+                    return int(truthy(left_fn(rt, frame))
+                               and truthy(right_fn(rt, frame)))
+
+                return land, cnt
+
+            def lor(rt: Runtime, frame: list) -> int:
+                return int(truthy(left_fn(rt, frame))
+                           or truthy(right_fn(rt, frame)))
+
+            return lor, cnt
+        left_fn, cnt = self.compile_expr(expr.left)
+        cnt.ops += 1
+        binop = _binop_fn(op)
+        apply = _APPLY[op]
+        rnode = expr.right
+        # Literal right operands (`scanf(...) == 2`, `ret != -1`) skip
+        # the operand-closure call; int literals also skip the operand
+        # class dispatch when the left side is an exact int.
+        if type(rnode) is A.IntLit or type(rnode) is A.CharLit:
+            rconst = rnode.value
+
+            def binary_riconst(rt: Runtime, frame: list) -> Any:
+                left = left_fn(rt, frame)
+                if left.__class__ is int:
+                    return apply(left, rconst)
+                return binop(rt, left, rconst)
+
+            return binary_riconst, cnt
+        if type(rnode) is A.FloatLit:
+            rconst = rnode.value
+
+            def binary_rconst(rt: Runtime, frame: list) -> Any:
+                return binop(rt, left_fn(rt, frame), rconst)
+
+            return binary_rconst, cnt
+        right_fn, rcnt = self.compile_expr(rnode)
+        cnt.add(rcnt)
+
+        def binary(rt: Runtime, frame: list) -> Any:
+            left = left_fn(rt, frame)
+            right = right_fn(rt, frame)
+            if left.__class__ is int and right.__class__ is int:
+                return apply(left, right)
+            return binop(rt, left, right)
+
+        return binary, cnt
+
+    # -- lvalues ---------------------------------------------------------
+
+    def compile_lvalue(self, expr: A.Expr) -> tuple[Callable, _Counts]:
+        if isinstance(expr, A.Ident):
+            slot = self.slot_for(expr.name)
+            name = expr.name
+
+            def lv_ident(rt: Runtime, frame: list) -> Ptr | ScalarRef:
+                cell = frame[slot]
+                if cell is None:
+                    raise CRuntimeError(f"undeclared identifier {name!r}")
+                value = cell.value
+                if value.__class__ is Buffer:
+                    return Ptr(value, 0)
+                return ScalarRef(cell)
+
+            return lv_ident, _Counts()
+        if isinstance(expr, A.Index):
+            base_fn, cnt = self.compile_expr(expr.base)
+            index_fn, icnt = self.compile_expr(expr.index)
+            cnt.add(icnt)
+
+            def lv_index(rt: Runtime, frame: list) -> Ptr:
+                ptr = base_fn(rt, frame)
+                if ptr.__class__ is not Ptr:
+                    ptr = _as_ptr(ptr)
+                elif ptr.buffer is None:
+                    raise CRuntimeError("null pointer indexed")
+                idx = index_fn(rt, frame)
+                if idx.__class__ is not int:
+                    idx = int(idx)
+                if ptr.stride > 1:
+                    return Ptr(ptr.buffer, ptr.offset + idx * ptr.stride, 1)
+                return Ptr(ptr.buffer, ptr.offset + idx * ptr.stride, ptr.stride)
+
+            return lv_index, cnt
+        if isinstance(expr, A.UnaryOp) and expr.op == "*":
+            operand_fn, cnt = self.compile_expr(expr.operand)
+
+            def lv_deref(rt: Runtime, frame: list) -> Ptr | ScalarRef:
+                value = operand_fn(rt, frame)
+                if isinstance(value, (Ptr, ScalarRef)):
+                    return value
+                raise CRuntimeError(f"cannot dereference {value!r}")
+
+            return lv_deref, cnt
+        kind = type(expr).__name__
+
+        def lv_bad(rt: Runtime, frame: list) -> Any:
+            raise CRuntimeError(f"cannot take address of {kind}")
+
+        return lv_bad, _Counts()
+
+
+# --------------------------------------------------------------------------
+# Compiled units
+# --------------------------------------------------------------------------
+
+
+def _compile_function(func: A.FunctionDef, cp: "CompiledProgram") -> Callable:
+    comp = _FunctionCompiler(cp)
+    comp.scopes.append({})
+    param_info = []
+    for param in func.params:
+        slot = comp.declare(param.name)
+        param_info.append((slot, param.ctype, _param_coerce(param.ctype)))
+    body_fn = comp._flushed_stmt(func.body)
+    nslots = comp.nslots
+    # Function bodies see only params + locals + program globals (the
+    # tree-walker resets the scope chain per call), so frees bind from
+    # rt.globals; unknown names stay None and raise lazily on access.
+    frees = tuple(comp.free.items())
+    nparams = len(func.params)
+    fname = func.name
+    params_t = tuple(param_info)
+
+    def call(rt: Runtime, args: list) -> Any:
+        if len(args) != nparams:
+            raise CRuntimeError(
+                f"{fname}() expects {nparams} args, got {len(args)}"
+            )
+        rt.steps = steps = rt.steps + 1
+        if steps > rt.max_steps:
+            raise CRuntimeError(
+                f"execution exceeded {rt.max_steps} steps (runaway loop?)"
+            )
+        frame: list = [None] * nslots
+        for (slot, ctype, coerce), arg in zip(params_t, args):
+            frame[slot] = Cell(value=coerce(arg), ctype=ctype)
+        if frees:
+            glb = rt.globals
+            for name, slot in frees:
+                frame[slot] = glb.get(name)
+        sig = body_fn(rt, frame)
+        if type(sig) is _Return:
+            return sig.value
+        return None
+
+    return call
+
+
+class CompiledProgram:
+    """All functions of one program compiled to closures, plus the
+    per-program string-literal buffer table."""
+
+    def __init__(self, program: A.Program):
+        self.program = program
+        self._strlit_ptrs: dict[int, Ptr] = {}
+        self.functions: dict[str, Callable] = {}
+        for func in program.functions:
+            self.functions[func.name] = _compile_function(func, self)
+
+    def strlit_ptr(self, expr: A.StringLit) -> Ptr:
+        ptr = self._strlit_ptrs.get(id(expr))
+        if ptr is None:
+            ptr = Ptr(Buffer.from_string(expr.value), 0)
+            self._strlit_ptrs[id(expr)] = ptr
+        return ptr
+
+    def runtime(self, facade: Any) -> Runtime:
+        return Runtime(facade, self.functions)
+
+    def run_main(self, facade: Any) -> int:
+        main = self.functions.get("main")
+        if main is None:
+            # Match Program.main's KeyError for programs without main().
+            raise KeyError("no function 'main' in program")
+        rt = self.runtime(facade)
+        try:
+            result = main(rt, [])
+        finally:
+            facade._steps = rt.steps
+        return int(result) if result is not None else 0
+
+    def call(self, facade: Any, name: str, args: list) -> Any:
+        func = self.functions.get(name)
+        if func is None:
+            raise KeyError(f"no function {name!r} in program")
+        rt = self.runtime(facade)
+        try:
+            return func(rt, args)
+        finally:
+            facade._steps = rt.steps
+
+
+class CompiledSuite:
+    """One statement compiled against a live facade environment — used
+    for GPU kernel bodies, where ``build_thread_env`` has populated the
+    facade's scopes before ``exec_stmt(kernel.body)``."""
+
+    def __init__(self, stmt: A.Stmt, cp: CompiledProgram):
+        comp = _FunctionCompiler(cp)
+        comp.scopes.append({})
+        self._body_fn = comp._flushed_stmt(stmt)
+        self._nslots = comp.nslots
+        self._frees = tuple(comp.free.items())
+        self.cp = cp
+
+    def execute(self, facade: Any) -> None:
+        rt = self.cp.runtime(facade)
+        frame: list = [None] * self._nslots
+        lookup = facade.lookup
+        for name, slot in self._frees:
+            try:
+                frame[slot] = lookup(name)
+            except CRuntimeError:
+                frame[slot] = None  # raises lazily if actually accessed
+        try:
+            self._body_fn(rt, frame)
+        finally:
+            facade._steps = rt.steps
+        return None

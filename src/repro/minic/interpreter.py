@@ -13,14 +13,57 @@ The interpreter also keeps instruction/memory counters
 from __future__ import annotations
 
 import io
+import os
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Iterator
 
 from ..errors import CRuntimeError
 from . import cast as A
 from . import ctypes as T
+from .cache import compiled_program, compiled_suite, strlit_buffers
 from .stdlib import InputStream, host_builtins
 from .values import NULL, Buffer, Cell, Ptr, ScalarRef, truthy
+
+#: Shared ctype instance for the predefined FILE*/NULL globals — ctypes
+#: are immutable, so one Pointer(VOID) serves every interpreter.
+_VOID_PTR = T.Pointer(T.VOID)
+
+#: Execution backends: "compiled" (closure compilation, the default hot
+#: path) and "tree" (the original tree-walker, kept as the reference
+#: semantics and for region-snapshot execution).
+BACKENDS = ("compiled", "tree")
+
+_default_backend = os.environ.get("REPRO_MINIC_BACKEND", "compiled")
+
+
+def _check_backend(name: str) -> str:
+    if name not in BACKENDS:
+        raise ValueError(f"unknown mini-C backend {name!r}; choose from {BACKENDS}")
+    return name
+
+
+def default_backend() -> str:
+    """The backend used when Interpreter(backend=None)."""
+    return _default_backend
+
+
+def set_default_backend(name: str) -> str:
+    """Set the process-wide default backend; returns the previous one."""
+    global _default_backend
+    previous = _default_backend
+    _default_backend = _check_backend(name)
+    return previous
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[None]:
+    """Temporarily switch the default backend (bench / differential tests)."""
+    previous = set_default_backend(name)
+    try:
+        yield
+    finally:
+        set_default_backend(previous)
 
 
 @dataclass
@@ -85,6 +128,13 @@ class Interpreter:
     max_steps:
         Statement-execution budget; guards against runaway loops in user
         source (a real cluster would rely on task timeouts).
+    backend:
+        "compiled" (closure-compiled hot path) or "tree" (the original
+        tree-walker). None picks the process default (REPRO_MINIC_BACKEND
+        env var, "compiled" out of the box). Both backends produce
+        bit-identical outputs and counter totals; ``run_until_region``
+        always uses the tree-walker, which is the only path that can
+        stop mid-execution.
     """
 
     def __init__(
@@ -93,24 +143,32 @@ class Interpreter:
         stdin: str = "",
         builtins: dict[str, Callable[["Interpreter", list[Any]], Any]] | None = None,
         max_steps: int = 200_000_000,
+        backend: str | None = None,
     ):
         self.program = program
         self.stdin = InputStream(stdin)
         self.stdout = io.StringIO()
-        self.builtins = dict(host_builtins() if builtins is None else builtins)
+        self.builtins = host_builtins() if builtins is None else dict(builtins)
         self.heap: list[Buffer] = []
         self.counters = ExecCounters()
         self.max_steps = max_steps
+        self.backend = _check_backend(
+            backend if backend is not None else _default_backend
+        )
+        self._use_compiled = self.backend == "compiled"
         self._steps = 0
         self._scopes: list[dict[str, Cell]] = []
-        self._strlit_cache: dict[int, Buffer] = {}
+        # String-literal buffers are cached per *program* (shared across
+        # interpreter instances — notably the GPU's one per thread).
+        self._strlit_cache: dict[int, Buffer] = strlit_buffers(program)
         # Predefined C identifiers (FILE* streams are opaque sentinels; the
         # IO builtins operate on the interpreter's own streams).
+        void_ptr = _VOID_PTR
         self._globals: dict[str, Cell] = {
-            "stdin": Cell(value="<stdin>", ctype=T.Pointer(T.VOID)),
-            "stdout": Cell(value="<stdout>", ctype=T.Pointer(T.VOID)),
-            "stderr": Cell(value="<stderr>", ctype=T.Pointer(T.VOID)),
-            "NULL": Cell(value=NULL, ctype=T.Pointer(T.VOID)),
+            "stdin": Cell(value="<stdin>", ctype=void_ptr),
+            "stdout": Cell(value="<stdout>", ctype=void_ptr),
+            "stderr": Cell(value="<stderr>", ctype=void_ptr),
+            "NULL": Cell(value=NULL, ctype=void_ptr),
             "EOF": Cell(value=-1, ctype=T.INT),
         }
         self._stop_at: A.Stmt | None = None
@@ -167,6 +225,8 @@ class Interpreter:
 
     def run(self) -> int:
         """Execute ``main()``; returns its exit status."""
+        if self._use_compiled and self._stop_at is None:
+            return compiled_program(self.program).run_main(self)
         result = self.call_function(self.program.main, [])
         return int(result) if result is not None else 0
 
@@ -229,6 +289,12 @@ class Interpreter:
             )
 
     def exec_stmt(self, stmt: A.Stmt) -> None:
+        if self._use_compiled and self._stop_at is None:
+            # Top-level entry (e.g. a GPU kernel body against this
+            # interpreter's live environment); the compiled closures
+            # never re-enter exec_stmt.
+            compiled_suite(self.program, stmt).execute(self)
+            return
         self._tick()
         if stmt is self._stop_at:
             raise RegionReached(self._snapshot_env())
@@ -341,8 +407,7 @@ class Interpreter:
     def _eval_Ident(self, expr: A.Ident) -> Any:
         cell = self.lookup(expr.name)
         if isinstance(cell.value, Buffer):
-            buf = cell.value
-            return Ptr(buf, 0, stride=buf.inner_dim or 1)  # array decay
+            return cell.value.decay_ptr()  # array decay (cached Ptr)
         return cell.value
 
     def _eval_SizeofType(self, expr: A.SizeofType) -> int:
@@ -567,12 +632,14 @@ class Interpreter:
 
 
 def run_filter(program: A.Program, input_text: str,
-               max_steps: int = 200_000_000) -> tuple[str, ExecCounters]:
+               max_steps: int = 200_000_000,
+               backend: str | None = None) -> tuple[str, ExecCounters]:
     """Run a mini-C program as a streaming filter; returns (stdout, counters).
 
     This is exactly how Hadoop Streaming invokes map/combine/reduce
     executables: text in on stdin, KV lines out on stdout.
     """
-    interp = Interpreter(program, stdin=input_text, max_steps=max_steps)
+    interp = Interpreter(program, stdin=input_text, max_steps=max_steps,
+                         backend=backend)
     interp.run()
     return interp.output(), interp.counters

@@ -50,25 +50,23 @@ class InputStream:
         self.pos = end + 1
         return line
 
-    def skip_space(self) -> None:
-        while not self.at_eof and self.text[self.pos] in " \t\r\n":
-            self.pos += 1
-
-    def read_token(self) -> str | None:
-        """Whitespace-delimited token (scanf %s); None at EOF."""
-        self.skip_space()
-        if self.at_eof:
-            return None
-        start = self.pos
-        while not self.at_eof and self.text[self.pos] not in " \t\r\n":
-            self.pos += 1
-        return self.text[start : self.pos]
-
+    _WS_RE = re.compile(r"[ \t\r\n]*")
+    _TOKEN_RE = re.compile(r"[ \t\r\n]*([^ \t\r\n]*)")
     _INT_RE = re.compile(r"[+-]?\d+")
     _FLOAT_RE = re.compile(r"[+-]?(\d+\.?\d*|\.\d+)([eE][+-]?\d+)?")
 
+    def skip_space(self) -> None:
+        self.pos = self._WS_RE.match(self.text, self.pos).end()
+
+    def read_token(self) -> str | None:
+        """Whitespace-delimited token (scanf %s); None at EOF."""
+        m = self._TOKEN_RE.match(self.text, self.pos)
+        token = m.group(1)
+        self.pos = m.end()
+        return token if token else None
+
     def read_int(self) -> int | None:
-        self.skip_space()
+        self.pos = self._WS_RE.match(self.text, self.pos).end()
         m = self._INT_RE.match(self.text, self.pos)
         if not m:
             return None
@@ -76,7 +74,7 @@ class InputStream:
         return int(m.group(0))
 
     def read_float(self) -> float | None:
-        self.skip_space()
+        self.pos = self._WS_RE.match(self.text, self.pos).end()
         m = self._FLOAT_RE.match(self.text, self.pos)
         if not m:
             return None
@@ -92,70 +90,229 @@ _FMT_RE = re.compile(r"%([-+ #0]*)(\d+)?(?:\.(\d+))?(l|ll|h)?([diufFeEgGscx%])")
 
 
 def _as_str(value: Any) -> str:
-    if isinstance(value, Ptr):
+    cls = value.__class__
+    if cls is Ptr:
+        buffer = value.buffer
+        if buffer is None:
+            raise CRuntimeError("c_string on null pointer")
+        return buffer.c_string(value.offset)
+    if cls is Buffer:
         return value.c_string()
-    if isinstance(value, Buffer):
-        return value.c_string()
-    if isinstance(value, str):
+    if cls is str:
         return value
     raise CRuntimeError(f"%s argument is not a string: {value!r}")
 
 
-def c_format(fmt: str, args: list[Any]) -> str:
-    """Render a printf format string against evaluated arguments."""
-    out: list[str] = []
+def _compile_format(
+    fmt: str,
+) -> tuple[tuple[tuple[str, Any], ...], str, Any]:
+    """Parse ``fmt`` once into (literal, renderer) segments plus a tail
+    literal and an optional straight-line fast renderer. A renderer is
+    None for ``%%`` (the ``%`` is folded into the literal); otherwise it
+    maps one argument to its formatted text."""
+    segs: list[tuple[str, Any]] = []
     pos = 0
-    arg_i = 0
-
-    def next_arg() -> Any:
-        nonlocal arg_i
-        if arg_i >= len(args):
-            raise CRuntimeError(f"printf: too few arguments for format {fmt!r}")
-        val = args[arg_i]
-        arg_i += 1
-        return val
-
     for m in _FMT_RE.finditer(fmt):
-        out.append(fmt[pos : m.start()])
+        lit = fmt[pos : m.start()]
         pos = m.end()
         flags, width, prec, _length, conv = m.groups()
         if conv == "%":
-            out.append("%")
+            segs.append((lit + "%", None))
             continue
         spec = "%" + (flags or "") + (width or "") + (f".{prec}" if prec else "")
         if conv in "di":
-            out.append((spec + "d") % int(next_arg()))
+            if spec == "%":
+                render: Any = lambda v: str(int(v))
+            else:
+                render = lambda v, _s=spec + "d": _s % int(v)
         elif conv == "u":
-            out.append((spec + "d") % (int(next_arg()) & 0xFFFFFFFF))
+            render = lambda v, _s=spec + "d": _s % (int(v) & 0xFFFFFFFF)
         elif conv == "x":
-            out.append((spec + "x") % int(next_arg()))
+            render = lambda v, _s=spec + "x": _s % int(v)
         elif conv in "fFeEgG":
-            out.append((spec + conv) % float(next_arg()))
+            render = lambda v, _s=spec + conv: _s % float(v)
         elif conv == "c":
-            val = next_arg()
-            out.append(chr(int(val)) if not isinstance(val, str) else val[:1])
-        elif conv == "s":
-            out.append((spec + "s") % _as_str(next_arg()))
-    out.append(fmt[pos:])
+            render = lambda v: chr(int(v)) if not isinstance(v, str) else v[:1]
+        else:  # conv == "s"
+            if spec == "%":
+                render = _as_str
+            else:
+                render = lambda v, _s=spec + "s": _s % _as_str(v)
+        segs.append((lit, render))
+    return tuple(segs), fmt[pos:], _make_fast_renderer(segs, fmt[pos:])
+
+
+def _make_fast_renderer(segs: list, tail: str) -> Any:
+    """A straight-line renderer closure for small formats (the common
+    ``"%s\\t%d\\n"``-style KV emitters), or None when the format needs
+    the generic segment loop. ``args[i]`` raising IndexError stands in
+    for the generic loop's too-few-arguments check."""
+    if any(render is None for _lit, render in segs):
+        return None  # %% segments: keep the generic loop
+    if len(segs) == 0:
+        return lambda args, _t=tail: _t
+    if len(segs) == 1:
+        ((l0, r0),) = segs
+        return lambda args, _l0=l0, _r0=r0, _t=tail: _l0 + _r0(args[0]) + _t
+    if len(segs) == 2:
+        (l0, r0), (l1, r1) = segs
+        return lambda args: l0 + r0(args[0]) + l1 + r1(args[1]) + tail
+    if len(segs) == 3:
+        (l0, r0), (l1, r1), (l2, r2) = segs
+        return lambda args: (
+            l0 + r0(args[0]) + l1 + r1(args[1]) + l2 + r2(args[2]) + tail
+        )
+    return None
+
+
+_FMT_CACHE: dict[str, tuple[tuple[tuple[str, Any], ...], str, Any]] = {}
+
+
+def c_format(fmt: str, args: list[Any]) -> str:
+    """Render a printf format string against evaluated arguments.
+
+    Format strings are parsed once and memoized — printf runs per
+    emitted KV pair on the map hot path, almost always with the same
+    handful of formats."""
+    cached = _FMT_CACHE.get(fmt)
+    if cached is None:
+        cached = _FMT_CACHE[fmt] = _compile_format(fmt)
+    segs, tail, fast = cached
+    if fast is not None:
+        try:
+            return fast(args)
+        except IndexError:
+            raise CRuntimeError(
+                f"printf: too few arguments for format {fmt!r}"
+            ) from None
+    out: list[str] = []
+    arg_i = 0
+    nargs = len(args)
+    for lit, render in segs:
+        if lit:
+            out.append(lit)
+        if render is not None:
+            if arg_i >= nargs:
+                raise CRuntimeError(
+                    f"printf: too few arguments for format {fmt!r}"
+                )
+            out.append(render(args[arg_i]))
+            arg_i += 1
+    if tail:
+        out.append(tail)
     return "".join(out)
 
 
 def _store_out(target: Any, value: Any) -> None:
-    if isinstance(target, (Ptr, ScalarRef)):
+    cls = target.__class__
+    if cls is ScalarRef or cls is Ptr or isinstance(target, (Ptr, ScalarRef)):
         target.store(value)
     else:
         raise CRuntimeError(f"scanf target is not a pointer: {target!r}")
 
 
+_SCAN_CACHE: dict[str, tuple[str, ...]] = {}
+
+#: One-shot regexes for the fully-whitespace-separated instances of the
+#: two-conversion scanf shapes: both fields and the gap between them
+#: match in a single pass. The separator is a *mandatory* whitespace
+#: run — without it the first greedy group could backtrack and donate
+#: its tail to the second field ("12345" scanning as 1234/5), which the
+#: stepwise path would never do. Non-separated or partial inputs simply
+#: fail the combined match and take the stepwise path below.
+_SCAN_PAIR_RES: dict[tuple[str, str], "re.Pattern[str]"] = {
+    ("s", "d"): re.compile(
+        r"[ \t\r\n]*([^\x00 \t\r\n]+)[ \t\r\n]+([+-]?\d+)"),
+    ("d", "d"): re.compile(
+        r"[ \t\r\n]*([+-]?\d+)[ \t\r\n]+([+-]?\d+)"),
+    ("d", "f"): re.compile(
+        r"[ \t\r\n]*([+-]?\d+)[ \t\r\n]+"
+        r"([+-]?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?)"),
+}
+
+
+def _scan_convs(fmt: str) -> tuple[str, ...]:
+    """The conversion characters of a scanf format, parsed once."""
+    convs = _SCAN_CACHE.get(fmt)
+    if convs is None:
+        convs = tuple(
+            m.group(5) for m in _FMT_RE.finditer(fmt) if m.group(5) != "%"
+        )
+        _SCAN_CACHE[fmt] = convs
+    return convs
+
+
 def c_scan(stream: InputStream, fmt: str, args: list[Any]) -> int:
     """Execute a scanf against the input stream. Returns the number of
-    successful conversions, or -1 on EOF before the first conversion."""
+    successful conversions, or -1 on EOF before the first conversion.
+
+    The two-conversion shapes every benchmark's KV readers use
+    (``"%s %d"``, ``"%d %d"``, ``"%d %f"``) run on a straight-line fast
+    path with the token/number scans inlined; anything else falls back
+    to the generic conversion loop below."""
+    convs = _scan_convs(fmt)
+    if (
+        len(convs) == 2
+        and len(args) >= 2
+        and (convs[0] == "s" or convs[0] == "d")
+        and (convs[1] == "d" or convs[1] == "f")
+    ):
+        text = stream.text
+        m = _SCAN_PAIR_RES[convs].match(text, stream.pos)
+        if m is not None:
+            stream.pos = m.end()
+            if convs[0] == "s":
+                target = args[0]
+                if isinstance(target, Ptr) and target.buffer is not None:
+                    target.buffer.store_string(target.offset, m.group(1))
+                else:
+                    raise CRuntimeError(
+                        "scanf %s target must be a char buffer")
+            else:
+                _store_out(args[0], int(m.group(1)))
+            if convs[1] == "d":
+                _store_out(args[1], int(m.group(2)))
+            else:
+                _store_out(args[1], float(m.group(2)))
+            return 2
+        if convs[0] == "s":
+            m = InputStream._TOKEN_RE.match(text, stream.pos)
+            token = m.group(1)
+            stream.pos = m.end()
+            if not token:
+                return -1 if stream.pos >= len(text) else 0
+            target = args[0]
+            if isinstance(target, Ptr) and target.buffer is not None:
+                target.buffer.store_string(target.offset, token)
+            else:
+                raise CRuntimeError("scanf %s target must be a char buffer")
+        else:
+            pos = InputStream._WS_RE.match(text, stream.pos).end()
+            m = InputStream._INT_RE.match(text, pos)
+            if m is None:
+                stream.pos = pos
+                return -1 if pos >= len(text) else 0
+            stream.pos = m.end()
+            _store_out(args[0], int(m.group(0)))
+        pos = InputStream._WS_RE.match(text, stream.pos).end()
+        if convs[1] == "d":
+            m = InputStream._INT_RE.match(text, pos)
+            if m is None:
+                stream.pos = pos
+                return 1
+            stream.pos = m.end()
+            _store_out(args[1], int(m.group(0)))
+        else:
+            m = InputStream._FLOAT_RE.match(text, pos)
+            if m is None:
+                stream.pos = pos
+                return 1
+            stream.pos = m.end()
+            _store_out(args[1], float(m.group(0)))
+        return 2
     converted = 0
     arg_i = 0
-    for m in _FMT_RE.finditer(fmt):
-        conv = m.group(5)
-        if conv == "%":
-            continue
+    for conv in _scan_convs(fmt):
         if arg_i >= len(args):
             raise CRuntimeError(f"scanf: too few arguments for format {fmt!r}")
         target = args[arg_i]
@@ -235,6 +392,9 @@ def _bi_getline(interp: "Interpreter", args: list[Any]) -> int:
     return written
 
 
+_WORD_SCAN_RE = re.compile(rb"[ \t\r\n]*([^\x00 \t\r\n]*)")
+
+
 def _bi_getword(interp: "Interpreter", args: list[Any]) -> int:
     """``getWord(line, offset, word, read, maxLen)`` — the paper's helper.
 
@@ -252,17 +412,57 @@ def _bi_getword(interp: "Interpreter", args: list[Any]) -> int:
         raise CRuntimeError("getWord: word must be a char buffer")
     offset = int(offset)
     limit = min(int(read), line.buffer.size - line.offset)
-    i = offset
     data = line.buffer.data
     base = line.offset
-    # Skip leading whitespace.
-    while i < limit and data[base + i : base + i + 1] in (b" ", b"\t", b"\r", b"\n"):
-        i += 1
+    if offset >= 0 and isinstance(data, (bytes, bytearray)):
+        # C-speed scan: leading whitespace, then the word (stopping at
+        # whitespace, NUL, or the read limit). An empty word group means
+        # only whitespace/NUL remained.
+        if offset >= limit:
+            return -1
+        m = _WORD_SCAN_RE.match(data, base + offset, base + limit)
+        token_b = m.group(1)
+        if not token_b:
+            return -1
+        mlen = int(max_len) - 1
+        if token_b.isascii():
+            # ASCII bytes truncate and decode 1:1, so the word can be
+            # copied without the decode/encode round trip store_string
+            # would make; the decoded text seeds the c_string cache.
+            if len(token_b) > mlen:
+                token_b = token_b[:mlen]
+            wbuf = word.buffer
+            woff = word.offset
+            n = len(token_b)
+            if woff + n + 1 > wbuf.size:
+                raise CRuntimeError(
+                    f"string of {n} bytes overflows buffer "
+                    f"{wbuf.label!r} (size {wbuf.size}, offset {woff})"
+                )
+            wbuf.data[woff : woff + n] = token_b
+            wbuf.data[woff + n] = 0
+            wbuf._strcache = {woff: token_b.decode("ascii")}
+            return m.end(1) - base - offset
+        token = token_b.decode("utf-8", errors="replace")
+        token = token[:mlen]
+        word.buffer.store_string(word.offset, token)
+        return m.end(1) - base - offset
+    # Fallback for exotic buffers: byte-at-a-time int indexing
+    # (space=32, tab=9, CR=13, LF=10).
+    i = offset
+    while i < limit:
+        c = data[base + i]
+        if c == 32 or c == 9 or c == 13 or c == 10:
+            i += 1
+        else:
+            break
     if i >= limit or data[base + i] == 0:
         return -1
     start = i
-    while i < limit and data[base + i] != 0 and \
-            data[base + i : base + i + 1] not in (b" ", b"\t", b"\r", b"\n"):
+    while i < limit:
+        c = data[base + i]
+        if c == 0 or c == 32 or c == 9 or c == 13 or c == 10:
+            break
         i += 1
     token = bytes(data[base + start : base + i]).decode("utf-8", errors="replace")
     token = token[: int(max_len) - 1]
@@ -291,7 +491,13 @@ def _str_of(arg: Any) -> str:
 
 
 def _bi_strcmp(interp: "Interpreter", args: list[Any]) -> int:
-    a, b = _str_of(args[0]), _str_of(args[1])
+    # Both operands are almost always Ptr-to-char on the KV hot loop
+    # (key vs. previous key); c_string hits the per-buffer decode cache.
+    a, b = args
+    a = a.buffer.c_string(a.offset) if a.__class__ is Ptr and \
+        a.buffer is not None else _str_of(a)
+    b = b.buffer.c_string(b.offset) if b.__class__ is Ptr and \
+        b.buffer is not None else _str_of(b)
     return (a > b) - (a < b)
 
 
@@ -394,8 +600,15 @@ def _bi_toupper(interp: "Interpreter", args: list[Any]) -> int:
 
 
 def host_builtins() -> dict[str, Callable[["Interpreter", list[Any]], Any]]:
-    """The CPU-path C library (what gcc + glibc provide in the paper)."""
-    return {
+    """The CPU-path C library (what gcc + glibc provide in the paper).
+
+    Returns a fresh copy of the (stateless) table — callers may add or
+    replace entries without affecting other interpreters — built from a
+    module-level prototype so the lambdas are only created once."""
+    return dict(_HOST_BUILTINS)
+
+
+_HOST_BUILTINS: dict[str, Callable[["Interpreter", list[Any]], Any]] = {
         "printf": _bi_printf,
         "fprintf": lambda i, a: _bi_printf(i, a[1:]),  # stderr folded to stdout
         "scanf": _bi_scanf,

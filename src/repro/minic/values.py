@@ -26,14 +26,21 @@ class Cell:
 class Buffer:
     """Contiguous typed storage; char buffers use a bytearray."""
 
+    #: write() coercion kinds, resolved once at construction.
+    _W_CHAR, _W_FLOAT, _W_INT, _W_RAW = 0, 1, 2, 3
+
     __slots__ = ("elem_type", "data", "size", "label", "freed", "space",
-                 "inner_dim")
+                 "inner_dim", "_decay", "_strcache", "_wkind")
 
     def __init__(self, elem_type: T.CType, size: int, label: str = "",
                  space: str | None = None):
         # For flattened 2-D arrays: the row length (columns); indexing the
         # buffer once yields a row pointer with this stride.
         self.inner_dim: int | None = None
+        self._decay: "Ptr | None" = None
+        # Decoded-string cache (offset -> str), dropped on any char
+        # write; see c_string().
+        self._strcache: dict[int, str] | None = None
         if size < 0:
             raise CRuntimeError(f"negative buffer size {size}")
         self.elem_type = elem_type
@@ -45,10 +52,14 @@ class Buffer:
         self.space = space
         if elem_type == T.CHAR:
             self.data: Any = bytearray(size)
+            self._wkind = Buffer._W_CHAR
         elif elem_type.is_float:
             self.data = [0.0] * size
+            self._wkind = Buffer._W_FLOAT
         else:
             self.data = [0] * size
+            self._wkind = Buffer._W_INT if elem_type.is_integer \
+                else Buffer._W_RAW
 
     @classmethod
     def from_string(cls, text: str) -> "Buffer":
@@ -57,6 +68,18 @@ class Buffer:
         buf = cls(T.CHAR, len(raw) + 1, label="strlit")
         buf.data[: len(raw)] = raw
         return buf
+
+    def decay_ptr(self) -> "Ptr":
+        """The array-decay pointer ``Ptr(self, 0, stride=inner_dim or 1)``.
+
+        Ptr is frozen, so one instance serves every rvalue mention of the
+        array — a hot-path allocation saver. ``inner_dim`` is fixed right
+        after construction, before any decay can be observed."""
+        ptr = self._decay
+        if ptr is None:
+            ptr = Ptr(self, 0, self.inner_dim or 1)
+            self._decay = ptr
+        return ptr
 
     def _check(self, index: int) -> None:
         if self.freed:
@@ -73,11 +96,13 @@ class Buffer:
 
     def write(self, index: int, value: Any) -> None:
         self._check(index)
-        if self.elem_type == T.CHAR:
+        kind = self._wkind
+        if kind == 0:  # char
             self.data[index] = int(value) & 0xFF
-        elif self.elem_type.is_float:
+            self._strcache = None
+        elif kind == 1:  # float
             self.data[index] = float(value)
-        elif self.elem_type.is_integer:
+        elif kind == 2:  # integer
             self.data[index] = int(value)
         else:
             self.data[index] = value
@@ -88,20 +113,35 @@ class Buffer:
             return
         if self.elem_type == T.CHAR:
             self.data.extend(b"\0" * (new_size - self.size))
+            self._strcache = None
         else:
             filler = 0.0 if self.elem_type.is_float else 0
             self.data.extend([filler] * (new_size - self.size))
         self.size = new_size
 
     def c_string(self, start: int = 0) -> str:
-        """Decode a NUL-terminated string beginning at ``start``."""
-        if self.elem_type != T.CHAR:
+        """Decode a NUL-terminated string beginning at ``start``.
+
+        Decodes are memoized per offset until the next char write —
+        printf re-reads its format-string buffer once per emitted KV
+        pair, and string literals are never written at all."""
+        if self._wkind != Buffer._W_CHAR:
             raise CRuntimeError("c_string on non-char buffer")
-        self._check(start) if self.size else None
+        if self.size and (self.freed or not 0 <= start < self.size):
+            self._check(start)
+        cache = self._strcache
+        if cache is not None:
+            text = cache.get(start)
+            if text is not None:
+                return text
+        else:
+            cache = self._strcache = {}
         end = self.data.find(b"\0", start)
         if end == -1:
             end = self.size
-        return self.data[start:end].decode("utf-8", errors="replace")
+        text = self.data[start:end].decode("utf-8", errors="replace")
+        cache[start] = text
+        return text
 
     def store_string(self, start: int, text: str) -> int:
         """Store ``text`` + NUL at ``start``; returns bytes written (excl NUL)."""
@@ -114,6 +154,9 @@ class Buffer:
             )
         self.data[start : start + len(raw)] = raw
         self.data[start + len(raw)] = 0
+        # ASCII text round-trips decode(encode(text)) exactly, so the
+        # just-stored string can seed the decode cache directly.
+        self._strcache = {start: text} if text.isascii() else None
         return len(raw)
 
     def __repr__(self) -> str:
@@ -168,12 +211,21 @@ class ScalarRef:
         return self.cell.value
 
     def store(self, value: Any) -> None:
-        if self.cell.ctype.is_float:
-            self.cell.value = float(value)
-        elif self.cell.ctype.is_integer:
-            self.cell.value = int(value)
+        # Identity checks against the interned scalar ctype singletons
+        # sidestep the is_float/is_integer property lookups on the
+        # scanf hot path; the property tail keeps exotic types working.
+        cell = self.cell
+        ct = cell.ctype
+        if ct is T.INT or ct is T.LONG or ct is T.SIZE_T:
+            cell.value = value if value.__class__ is int else int(value)
+        elif ct is T.FLOAT or ct is T.DOUBLE:
+            cell.value = value if value.__class__ is float else float(value)
+        elif ct.is_float:
+            cell.value = float(value)
+        elif ct.is_integer:
+            cell.value = int(value)
         else:
-            self.cell.value = value
+            cell.value = value
 
 
 def truthy(value: Any) -> bool:

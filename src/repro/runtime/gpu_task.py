@@ -158,11 +158,24 @@ class GpuTaskRunner:
 
     def _snapshot_for(self, translation: TranslationResult, kernel_attr: str) \
             -> dict[str, Any]:
-        kernel = getattr(translation, kernel_attr)
-        if kernel.original_region is None:
-            raise GpuError("kernel has no original region to snapshot")
-        interp = Interpreter(translation.program, stdin="")
-        return interp.run_until_region(kernel.original_region)
+        # Snapshots are memoized on the TranslationResult itself, so the
+        # N GpuTaskRunner instances a job may create (one per map task)
+        # share one host pre-region run. Safe to share: the executor
+        # clones every buffer it materializes from a snapshot and copies
+        # scalars by value (build_thread_env / prepare_shared_ro).
+        cache = translation.__dict__.get("_snapshots")
+        if cache is None:
+            cache = {}
+            setattr(translation, "_snapshots", cache)
+        snap = cache.get(kernel_attr)
+        if snap is None:
+            kernel = getattr(translation, kernel_attr)
+            if kernel.original_region is None:
+                raise GpuError("kernel has no original region to snapshot")
+            interp = Interpreter(translation.program, stdin="")
+            snap = interp.run_until_region(kernel.original_region)
+            cache[kernel_attr] = snap
+        return snap
 
     def map_snapshot(self) -> dict[str, Any]:
         if self._map_snapshot is None:
