@@ -136,6 +136,36 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .fuzz import run_campaign
+    from .fuzz.gen import KIND_SCHEDULE
+
+    kinds = KIND_SCHEDULE
+    if args.kinds:
+        kinds = tuple(args.kinds.split(","))
+        from .fuzz.gen import KINDS
+
+        unknown = set(kinds) - set(KINDS)
+        if unknown:
+            raise ReproError(f"unknown fuzz kinds: {', '.join(sorted(unknown))}")
+    result = run_campaign(
+        seed=args.seed,
+        count=args.count,
+        time_budget=args.time_budget,
+        kinds=kinds,
+        shrink=not args.no_shrink,
+        corpus_dir=args.corpus_dir,
+        log=None if args.quiet else print,
+    )
+    print(result.summary())
+    for _case, divergence, minimized in result.divergences:
+        print()
+        print(divergence.report())
+        print("--- minimized ---")
+        print(minimized.source.rstrip())
+    return 0 if result.ok else 1
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from .experiments import figures, report, tables
 
@@ -217,6 +247,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--min-speedup", type=float, default=None,
                    help="exit nonzero if any app's speedup is below this")
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser("fuzz", help="differential conformance fuzzing "
+                                    "across the mini-C backends")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign seed (case i derives from 'seed/i')")
+    p.add_argument("--count", type=int, default=300,
+                   help="number of generated cases")
+    p.add_argument("--time-budget", type=float, default=None, metavar="SEC",
+                   help="stop generating new cases after SEC seconds")
+    p.add_argument("--kinds", default=None,
+                   help="comma-separated case kinds (expr,mapper,combiner); "
+                        "default mixes all three")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="report divergences without minimizing them")
+    p.add_argument("--corpus-dir", default=None,
+                   help="where to persist minimized divergences "
+                        "(default: tests/fuzz_corpus/)")
+    p.add_argument("--quiet", action="store_true",
+                   help="only print the final summary line")
+    p.set_defaults(func=_cmd_fuzz)
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument("name", help="table1|table2|table3|fig3|fig4a|fig4b|"

@@ -1,0 +1,250 @@
+"""Differential oracle: run one case through every applicable backend.
+
+Comparison boundaries, strictest first:
+
+* tree vs. compiled CPU backends — stdout must be byte-identical,
+  :class:`ExecCounters` bit-identical, and any ``CRuntimeError`` must
+  carry the same message from both engines.
+* mapper cases — a full ``LocalJobRunner`` job (map → combine →
+  shuffle → reduce) with ``use_gpu=False`` vs. ``use_gpu=True`` must
+  produce the same final output dict; and the GPU job itself must be
+  invariant under the CPU backend used to execute kernel regions (same
+  outputs AND bit-identical simulated seconds).
+* combiner cases with integer values — the standalone GPU combine
+  kernel may emit chunk-boundary partial aggregates (paper §4.2), so
+  only per-key sums are compared against the serial combiner.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any
+
+from ..apps.base import Application
+from ..config import CLUSTER1
+from ..errors import ReproError
+from ..gpu.device import GpuDevice
+from ..gpu.executor import run_combine_kernel
+from ..hadoop.local import LocalJobRunner, parse_kv_line
+from ..kvstore.global_store import KVPair
+from ..minic import parse
+from ..minic.interpreter import ExecCounters, Interpreter, run_filter, use_backend
+from .gen import FuzzCase
+
+#: Small split so multi-line inputs exercise >1 map task occasionally.
+_SPLIT_BYTES = 512
+
+#: Step budget for direct filter runs. Generated programs finish in ~1k
+#: tree steps; the ceiling exists for shrinker mutants that delete a
+#: loop-advance statement and would otherwise spin for minutes against
+#: the 200M default. Both backends report the limit with the same
+#: message, so tripping it is agreeing error behavior, not divergence.
+_MAX_STEPS = 200_000
+
+
+@dataclass
+class Divergence:
+    """One observed disagreement between backends."""
+
+    case: FuzzCase
+    check: str          # which comparison failed, e.g. "stdout:tree-vs-compiled"
+    detail: str         # human-readable evidence
+
+    def report(self) -> str:
+        lines = [
+            f"divergence {self.case.name} [{self.check}]",
+            self.detail.rstrip(),
+            "--- program ---",
+            self.case.source.rstrip(),
+        ]
+        if self.case.combine_source:
+            lines += ["--- combiner ---", self.case.combine_source.rstrip()]
+        lines += ["--- input ---", self.case.input_text.rstrip() or "(empty)"]
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class _Outcome:
+    status: str                     # "ok" | "error"
+    stdout: str = ""
+    counters: ExecCounters | None = None
+    error: str = ""
+
+
+def _filter_outcome(source: str, input_text: str, backend: str) -> _Outcome:
+    try:
+        program = parse(source)
+        out, counters = run_filter(program, input_text, backend=backend,
+                                   max_steps=_MAX_STEPS)
+        return _Outcome("ok", stdout=out, counters=counters)
+    except Exception as exc:
+        # Mostly CRuntimeError; anything else (e.g. a Python-level error
+        # leaking out of an evaluator) still counts as this backend's
+        # observable behavior and must match the other backend exactly.
+        return _Outcome("error", error=f"{type(exc).__name__}: {exc}")
+
+
+def _first_diff(a: str, b: str) -> str:
+    a_lines, b_lines = a.splitlines(), b.splitlines()
+    for i, (la, lb) in enumerate(zip(a_lines, b_lines)):
+        if la != lb:
+            return f"line {i + 1}: tree={la!r} compiled={lb!r}"
+    return (f"line counts differ: tree={len(a_lines)} "
+            f"compiled={len(b_lines)}")
+
+
+def _compare_cpu(case: FuzzCase, source: str,
+                 input_text: str) -> Divergence | None:
+    """Tree vs. compiled differential on one streaming filter."""
+    tree = _filter_outcome(source, input_text, "tree")
+    comp = _filter_outcome(source, input_text, "compiled")
+    if tree.status != comp.status:
+        return Divergence(case, "error:tree-vs-compiled",
+                          f"tree={tree.status}({tree.error}) "
+                          f"compiled={comp.status}({comp.error})")
+    if tree.status == "error":
+        if tree.error != comp.error:
+            return Divergence(case, "error-message:tree-vs-compiled",
+                              f"tree={tree.error!r}\ncompiled={comp.error!r}")
+        return None
+    if tree.stdout != comp.stdout:
+        return Divergence(case, "stdout:tree-vs-compiled",
+                          _first_diff(tree.stdout, comp.stdout))
+    if tree.counters != comp.counters:
+        return Divergence(case, "counters:tree-vs-compiled",
+                          f"tree={tree.counters}\ncompiled={comp.counters}")
+    return None
+
+
+# -- mapper cases: full job, CPU streaming vs GPU-simulated ----------------
+
+
+def _sum_reduce(key: Any, values: list[Any]) -> list[tuple[Any, Any]]:
+    return [(key, sum(values))]
+
+
+def _fuzz_app(case: FuzzCase) -> Application:
+    return Application(
+        name=f"fuzz-{case.name}",
+        short="FZ",
+        nature="IO",
+        map_source=case.source,
+        combine_source=case.combine_source,
+        reduce_py=_sum_reduce,
+    )
+
+
+def _run_job(app: Application, input_text: str, use_gpu: bool):
+    runner = LocalJobRunner(app, use_gpu=use_gpu, num_reducers=2,
+                            split_bytes=_SPLIT_BYTES)
+    return runner.run(input_text)
+
+
+def _fmt_output_diff(cpu: dict[Any, Any], gpu: dict[Any, Any]) -> str:
+    keys = sorted({*cpu, *gpu}, key=repr)
+    rows = [f"  {k!r}: cpu={cpu.get(k, '<absent>')!r} "
+            f"gpu={gpu.get(k, '<absent>')!r}"
+            for k in keys if cpu.get(k, object()) != gpu.get(k, object())]
+    return "output dict mismatch:\n" + "\n".join(rows[:20])
+
+
+def _compare_mapper_job(case: FuzzCase) -> Divergence | None:
+    app = _fuzz_app(case)
+    try:
+        cpu = _run_job(app, case.input_text, use_gpu=False)
+    except ReproError as exc:
+        return Divergence(case, "cpu-job-error",
+                          f"{type(exc).__name__}: {exc}")
+    try:
+        with use_backend("compiled"):
+            gpu_c = _run_job(app, case.input_text, use_gpu=True)
+        with use_backend("tree"):
+            gpu_t = _run_job(app, case.input_text, use_gpu=True)
+    except ReproError as exc:
+        return Divergence(case, "gpu-job-error",
+                          f"{type(exc).__name__}: {exc}")
+    if gpu_c.output != gpu_t.output:
+        return Divergence(case, "gpu-backend-output",
+                          _fmt_output_diff(gpu_t.output, gpu_c.output))
+    sec_c = [r.seconds for r in gpu_c.gpu_task_results]
+    sec_t = [r.seconds for r in gpu_t.gpu_task_results]
+    if sec_c != sec_t:
+        return Divergence(case, "gpu-backend-seconds",
+                          f"tree={sec_t}\ncompiled={sec_c}")
+    if cpu.output != gpu_c.output:
+        return Divergence(case, "cpu-vs-gpu-job",
+                          _fmt_output_diff(cpu.output, gpu_c.output))
+    if cpu.map_output_pairs != gpu_c.map_output_pairs:
+        return Divergence(
+            case, "map-output-pairs",
+            f"cpu emitted {cpu.map_output_pairs} map pairs, "
+            f"gpu emitted {gpu_c.map_output_pairs}")
+    return None
+
+
+# -- combiner cases: serial combiner vs GPU combine kernel -----------------
+
+
+def _key_sums(pairs: list[tuple[Any, Any]]) -> dict[Any, Any]:
+    sums: dict[Any, Any] = defaultdict(int)
+    for k, v in pairs:
+        sums[k] += v
+    return dict(sums)
+
+
+def _compare_combine_kernel(case: FuzzCase) -> Divergence | None:
+    try:
+        from ..compiler.translator import translate
+
+        program = parse(case.source)
+        tr = translate(program)
+        kernel = tr.combine_kernel
+        snapshot = Interpreter(tr.program, stdin="").run_until_region(
+            kernel.original_region)
+        pairs = [KVPair(*parse_kv_line(ln), 0)
+                 for ln in case.input_text.splitlines() if ln]
+        device = GpuDevice(CLUSTER1.gpu)
+        launch = run_combine_kernel(device, kernel, pairs, snapshot)
+    except ReproError as exc:
+        return Divergence(case, "gpu-combine-error",
+                          f"{type(exc).__name__}: {exc}")
+    serial_out, _ = run_filter(parse(case.source), case.input_text,
+                               max_steps=_MAX_STEPS)
+    serial = [parse_kv_line(ln) for ln in serial_out.splitlines() if ln]
+    gpu_pairs = [parse_kv_line(f"{k}\t{v}") for k, v in launch.output]
+    serial_sums = _key_sums(serial)
+    gpu_sums = _key_sums(gpu_pairs)
+    if serial_sums != gpu_sums:
+        return Divergence(case, "gpu-combine-sums",
+                          _fmt_output_diff(serial_sums, gpu_sums))
+    return None
+
+
+# -- entry point -----------------------------------------------------------
+
+
+def run_case(case: FuzzCase) -> Divergence | None:
+    """Run every applicable comparison; first failure wins."""
+    div = _compare_cpu(case, case.source, case.input_text)
+    if div is not None:
+        return div
+    # If the program errors (identically on both CPU backends — just
+    # verified), there is nothing meaningful to feed the job/GPU paths.
+    primary = _filter_outcome(case.source, case.input_text, "compiled")
+    if primary.status != "ok":
+        return None
+    if case.kind == "mapper" and case.combine_source:
+        # The paired combiner is also a tree-vs-compiled subject in its
+        # own right: feed it the sorted map output.
+        kv = sorted(ln for ln in primary.stdout.splitlines() if ln)
+        div = _compare_cpu(case, case.combine_source,
+                           "\n".join(kv) + "\n" if kv else "")
+        if div is not None:
+            div.check = f"pair-combine/{div.check}"
+            return div
+    if case.kind == "mapper" and case.gpu:
+        return _compare_mapper_job(case)
+    if case.kind == "combiner" and case.gpu:
+        return _compare_combine_kernel(case)
+    return None

@@ -1,0 +1,156 @@
+"""Campaign driver: generate → oracle → shrink → persist.
+
+A campaign is fully determined by ``(seed, count, kinds)``: case ``i``
+is derived from ``random.Random(f"{seed}/{i}")``, the oracle is
+deterministic, and the shrinker explores reductions in a fixed order.
+The campaign digest (SHA-1 over every case's source, input, and outcome)
+is the determinism witness: two runs with the same parameters must print
+the same digest on any machine.
+
+Divergent cases are minimized and written to ``tests/fuzz_corpus/`` as
+``<case>/program.c + input.txt + meta.json`` (plus ``combine.c`` for
+mapper cases with a paired combiner). ``tests/test_fuzz_corpus.py``
+replays every entry through the full oracle on each tier-1 run, so a
+divergence found once can never silently return.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from .gen import KIND_SCHEDULE, FuzzCase, generate_case
+from .oracle import Divergence, run_case
+from .shrink import shrink_case
+
+#: Default corpus location inside the repo checkout.
+DEFAULT_CORPUS = Path(__file__).resolve().parents[3] / "tests" / "fuzz_corpus"
+
+
+@dataclass
+class CampaignResult:
+    seed: int
+    requested: int
+    executed: int = 0
+    kind_counts: dict[str, int] = field(default_factory=dict)
+    #: (original case, divergence, minimized case) triples.
+    divergences: list[tuple[FuzzCase, Divergence, FuzzCase]] = (
+        field(default_factory=list))
+    digest: str = ""
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def summary(self) -> str:
+        kinds = " ".join(f"{k}={n}" for k, n in sorted(self.kind_counts.items()))
+        status = "OK" if self.ok else f"{len(self.divergences)} DIVERGENT"
+        return (f"fuzz seed={self.seed}: {self.executed}/{self.requested} "
+                f"cases ({kinds}) in {self.elapsed:.1f}s — {status} "
+                f"[digest {self.digest[:16]}]")
+
+
+def persist_divergence(corpus_dir: Path, case: FuzzCase,
+                       divergence: Divergence) -> Path:
+    """Write one minimized case as a replayable corpus entry."""
+    entry = corpus_dir / case.name
+    entry.mkdir(parents=True, exist_ok=True)
+    (entry / "program.c").write_text(case.source)
+    (entry / "input.txt").write_text(case.input_text)
+    if case.combine_source:
+        (entry / "combine.c").write_text(case.combine_source)
+    meta = {
+        "kind": case.kind,
+        "seed": case.seed,
+        "index": case.index,
+        "gpu": case.gpu,
+        "check": divergence.check,
+        "detail": divergence.detail,
+    }
+    (entry / "meta.json").write_text(json.dumps(meta, indent=2) + "\n")
+    return entry
+
+
+def load_corpus(corpus_dir: Path | None = None) -> list[FuzzCase]:
+    """Load every persisted corpus entry as a replayable FuzzCase."""
+    corpus_dir = DEFAULT_CORPUS if corpus_dir is None else Path(corpus_dir)
+    cases: list[FuzzCase] = []
+    if not corpus_dir.is_dir():
+        return cases
+    for entry in sorted(corpus_dir.iterdir()):
+        meta_path = entry / "meta.json"
+        if not meta_path.is_file():
+            continue
+        meta = json.loads(meta_path.read_text())
+        combine = entry / "combine.c"
+        cases.append(FuzzCase(
+            kind=meta["kind"],
+            seed=meta["seed"],
+            index=meta["index"],
+            source=(entry / "program.c").read_text(),
+            input_text=(entry / "input.txt").read_text(),
+            gpu=meta.get("gpu", False),
+            combine_source=combine.read_text() if combine.is_file() else None,
+            label=meta.get("check", ""),
+        ))
+    return cases
+
+
+def run_campaign(
+    seed: int = 0,
+    count: int = 300,
+    time_budget: float | None = None,
+    kinds: tuple[str, ...] = KIND_SCHEDULE,
+    shrink: bool = True,
+    corpus_dir: Path | None = None,
+    log: Callable[[str], None] | None = None,
+) -> CampaignResult:
+    """Run ``count`` generated cases through the oracle.
+
+    ``time_budget`` (seconds) bounds wall-clock: generation stops early
+    once exceeded, recorded in ``executed``. Divergent cases are
+    minimized (unless ``shrink=False``) and persisted under
+    ``corpus_dir`` (default: the repo's ``tests/fuzz_corpus/``).
+    """
+    result = CampaignResult(seed=seed, requested=count)
+    sha = hashlib.sha1()
+    start = time.monotonic()
+    for index in range(count):
+        if time_budget is not None and time.monotonic() - start > time_budget:
+            if log:
+                log(f"time budget {time_budget:.0f}s exhausted after "
+                    f"{index} cases")
+            break
+        case = generate_case(seed, index, kinds=kinds)
+        divergence = run_case(case)
+        result.executed += 1
+        result.kind_counts[case.kind] = result.kind_counts.get(case.kind, 0) + 1
+        outcome = "ok" if divergence is None else divergence.check
+        for chunk in (case.name, case.source, case.input_text,
+                      case.combine_source or "", outcome):
+            sha.update(chunk.encode())
+            sha.update(b"\x00")
+        if divergence is not None:
+            if log:
+                log(f"DIVERGENCE at case {case.name}: {divergence.check}")
+            minimized = case
+            if shrink:
+                minimized = shrink_case(case, divergence.check)
+                if log:
+                    log(f"  minimized {len(case.source)} -> "
+                        f"{len(minimized.source)} bytes")
+            result.divergences.append((case, divergence, minimized))
+            target = DEFAULT_CORPUS if corpus_dir is None else Path(corpus_dir)
+            entry = persist_divergence(target, minimized, divergence)
+            if log:
+                log(f"  persisted to {entry}")
+        elif log and (index + 1) % 50 == 0:
+            log(f"{index + 1}/{count} cases, all conforming")
+    result.elapsed = time.monotonic() - start
+    result.digest = sha.hexdigest()
+    return result

@@ -23,6 +23,7 @@ from typing import Any, Callable
 from ..compiler.kernel_ir import KernelIR, VarClass, VarInfo
 from ..errors import CRuntimeError, GpuError, KVStoreOverflow
 from ..kvstore import GlobalKVStore, KVPair, Partitioner
+from ..kvstore.coerce import kv_text
 from ..minic import cast as A
 from ..minic import ctypes as T
 from ..minic.interpreter import ExecCounters, Interpreter
@@ -651,12 +652,29 @@ def _extract_value(arg: Any) -> Any:
     return arg
 
 
+def _kv_number(text: str) -> int | float:
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        raise CRuntimeError(
+            f"getKV: cannot read {text!r} into a numeric variable"
+        ) from None
+
+
 def _store_kv_arg(ref: Any, value: Any) -> None:
+    # getKV marshals off the shuffle's textual wire with scanf
+    # semantics: a char-array target reads the datum's text (%s) — an
+    # int key 42 arrives as "42", not as the char with code 42 — and a
+    # numeric target parses text back to a number (%d/%f).
     if isinstance(ref, Ptr) and ref.buffer is not None and \
-            ref.buffer.elem_type == T.CHAR and isinstance(value, str):
-        ref.buffer.store_string(ref.offset, value)
+            ref.buffer.elem_type == T.CHAR:
+        ref.buffer.store_string(ref.offset, kv_text(value))
     elif isinstance(ref, (Ptr, ScalarRef)):
-        ref.store(value)
+        ref.store(_kv_number(value) if isinstance(value, str) else value)
     else:
         raise CRuntimeError(f"getKV target is not a pointer: {ref!r}")
 

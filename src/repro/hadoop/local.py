@@ -22,46 +22,10 @@ from ..costmodel.io import IoModel
 from ..errors import HadoopError
 from ..gpu.device import GpuDevice
 from ..kvstore import Partitioner
+from ..kvstore.coerce import parse_kv_line
 from ..runtime.gpu_task import GpuTaskResult, GpuTaskRunner
 
-
-def parse_kv_line(line: str) -> tuple[Any, Any]:
-    """Parse a streaming 'key<TAB>value' line into typed KV."""
-    if "\t" not in line:
-        raise HadoopError(f"malformed KV line {line!r}")
-    k, v = line.split("\t", 1)
-    return _coerce_key(k), _coerce(v)
-
-
-def _coerce_key(text: str) -> Any:
-    """Type a streaming key: int only when the text is the canonical
-    decimal rendering.
-
-    Keys are identities, not quantities — ``"007"`` and ``"1.0"`` name
-    different words than ``"7"`` and ``"1"``, and the GPU path (which
-    keeps ``%s`` keys as text) never collapses them. Apps emit integer
-    keys via ``%d``, whose output is always canonical, so those still
-    come back as ints and sort numerically."""
-    # The isdigit screen keeps word keys (the common case) off the
-    # int() exception path.
-    if text.isdigit() or (text[:1] == "-" and text[1:].isdigit()):
-        i = int(text)
-        if str(i) == text:
-            return i
-    return text
-
-
-def _coerce(text: str) -> Any:
-    if text.isdigit() or (text[:1] == "-" and text[1:].isdigit()):
-        return int(text)
-    try:
-        return int(text)
-    except ValueError:
-        pass
-    try:
-        return float(text)
-    except ValueError:
-        return text
+__all__ = ["LocalJobResult", "LocalJobRunner", "parse_kv_line"]
 
 
 def _sort_key(key: Any) -> tuple[int, Any]:

@@ -39,7 +39,7 @@ from typing import Any, Callable
 from ..errors import CRuntimeError
 from . import cast as A
 from . import ctypes as T
-from .values import NULL, Buffer, Cell, Ptr, ScalarRef, truthy
+from .values import NULL, Buffer, Cell, Ptr, ScalarRef, float_to_int, truthy
 
 # --------------------------------------------------------------------------
 # Control-flow sentinels
@@ -846,7 +846,7 @@ class _FunctionCompiler:
             def cast_int(rt: Runtime, frame: list) -> int:
                 value = operand_fn(rt, frame)
                 if isinstance(value, float):
-                    return int(value)
+                    return float_to_int(value)
                 if is_char:
                     return int(value) & 0xFF
                 return int(value)

@@ -23,7 +23,7 @@ from . import cast as A
 from . import ctypes as T
 from .cache import compiled_program, compiled_suite, strlit_buffers
 from .stdlib import InputStream, host_builtins
-from .values import NULL, Buffer, Cell, Ptr, ScalarRef, truthy
+from .values import NULL, Buffer, Cell, Ptr, ScalarRef, float_to_int, truthy
 
 #: Shared ctype instance for the predefined FILE*/NULL globals — ctypes
 #: are immutable, so one Pointer(VOID) serves every interpreter.
@@ -422,7 +422,7 @@ class Interpreter:
             return float(value)
         if to.is_integer:
             if isinstance(value, float):
-                return int(value)
+                return float_to_int(value)
             if to == T.CHAR:
                 return int(value) & 0xFF
             return int(value)

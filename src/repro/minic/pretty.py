@@ -44,7 +44,11 @@ def pprint_expr(expr: A.Expr) -> str:
     if isinstance(expr, A.BinOp):
         return f"({pprint_expr(expr.left)} {expr.op} {pprint_expr(expr.right)})"
     if isinstance(expr, A.UnaryOp):
-        return f"{expr.op}{pprint_expr(expr.operand)}"
+        operand = pprint_expr(expr.operand)
+        # Keep '-' + '-x' from fusing into the '--' token (same for
+        # '+'/'&'): a space preserves the lexing of the original tree.
+        sep = " " if operand and expr.op[-1] == operand[0] else ""
+        return f"{expr.op}{sep}{operand}"
     if isinstance(expr, A.PostfixOp):
         return f"{pprint_expr(expr.operand)}{expr.op}"
     if isinstance(expr, A.Assign):

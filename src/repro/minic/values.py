@@ -15,6 +15,15 @@ from ..errors import CRuntimeError
 from . import ctypes as T
 
 
+def float_to_int(value: float) -> int:
+    """C ``(int)`` cast of a double. Non-finite values have no integer
+    representation; both execution backends must trap identically rather
+    than leak a Python OverflowError/ValueError."""
+    if value != value or value in (float("inf"), float("-inf")):
+        raise CRuntimeError(f"cast of non-finite double {value!r} to int")
+    return int(value)
+
+
 @dataclass
 class Cell:
     """A mutable variable slot."""

@@ -30,6 +30,7 @@ from ..gpu.scan import reindex_cycles, scan_cycles
 from ..gpu.sort import sort_partition
 from ..kvstore import GlobalKVStore, KVPair, Partitioner
 from ..kvstore.aggregation import aggregate, scattered_partitions
+from ..kvstore.coerce import coerce_pair
 from ..costmodel.io import IoModel
 from ..minic.interpreter import Interpreter
 from .records import locate_records
@@ -286,7 +287,10 @@ class GpuTaskRunner:
                 sorted_partitions[part] = sr.pairs
                 bd.sort += sr.seconds
 
-            # 7. Combine kernel per partition.
+            # 7. Combine kernel per partition. Leaving the device, pairs
+            # cross the textual streaming wire — the same coercion the
+            # CPU path applies when parsing filter stdout, so a word key
+            # like "42" types identically on both paths.
             output: dict[int, list[tuple[Any, Any]]] = {}
             if self.combine_tr is not None:
                 ck = self.combine_tr.combine_kernel
@@ -294,11 +298,13 @@ class GpuTaskRunner:
                 snapshot = self.combine_snapshot()
                 for part, pairs in sorted_partitions.items():
                     launch = run_combine_kernel(device, ck, pairs, snapshot)
-                    output[part] = launch.output
+                    output[part] = [coerce_pair(k, v)
+                                    for k, v in launch.output]
                     bd.combine += launch.cost.seconds
             else:
                 for part, pairs in sorted_partitions.items():
-                    output[part] = [(p.key, p.value) for p in pairs]
+                    output[part] = [coerce_pair(p.key, p.value)
+                                    for p in pairs]
             result.partition_output = output
             result.output_pairs = sum(len(v) for v in output.values())
 

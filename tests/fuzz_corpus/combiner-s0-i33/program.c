@@ -1,0 +1,27 @@
+int main()
+{
+    char word[16];
+    char prevWord[16];
+    int count;
+    int val;
+    int read;
+    prevWord[0] = '\0';
+    count = 0;
+    #pragma mapreduce combiner key(prevWord) value(count) keyin(word) valuein(val) keylength(16) vallength(4) firstprivate(prevWord, count)
+    {
+        while ((read = scanf("%s %d", word, &val)) == 2) {
+            if (strcmp(word, prevWord) == 0) {
+                count += val;
+            }
+            else {
+                if (prevWord[0] != '\0')
+                    printf("%s\t%d\n", prevWord, count);
+                strcpy(prevWord, word);
+                count = val;
+            }
+        }
+        if (prevWord[0] != '\0')
+            printf("%s\t%d\n", prevWord, count);
+    }
+    return 0;
+}

@@ -1,0 +1,10 @@
+int main()
+{
+    double d0;
+    int v0;
+    d0 = 1e200;
+    d0 = (d0 * d0);
+    v0 = (int) d0;
+    printf("v0=%d\n", v0);
+    return 0;
+}

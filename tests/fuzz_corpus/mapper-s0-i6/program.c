@@ -1,0 +1,22 @@
+int main()
+{
+    char word[24];
+    char *line;
+    size_t nbytes = 4096;
+    int read;
+    int linePtr;
+    int offset;
+    int one;
+    line = (char*) malloc(nbytes*sizeof(char));
+    one = 1;
+    #pragma mapreduce mapper key(word) value(one) keylength(24) kvpairs(20)
+    while ((read = getline(&line, &nbytes, stdin)) != -1) {
+        offset = 0;
+        while ((linePtr = getWord(line, offset, word, read, 24)) != -1) {
+            printf("%s\t%d\n", word, one);
+            offset += linePtr;
+        }
+    }
+    free(line);
+    return 0;
+}

@@ -12,13 +12,15 @@ from __future__ import annotations
 import pytest
 
 from repro.apps import all_apps, get_app
-from repro.errors import CRuntimeError
+from repro.errors import ConfigError, CRuntimeError
 from repro.hadoop.local import LocalJobRunner, parse_kv_line
 from repro.minic import parse
 from repro.minic.cache import compiled_program
 from repro.minic.interpreter import run_filter, use_backend
 
 APP_TAGS = [app.short for app in all_apps()]
+COMBINER_TAGS = [app.short for app in all_apps() if app.has_combiner]
+NO_COMBINER_TAGS = [app.short for app in all_apps() if not app.has_combiner]
 
 
 def _both_backends(program, text):
@@ -41,13 +43,14 @@ class TestMapFilters:
 
 
 class TestCombineAndReduceFilters:
-    """Combiner/reduce programs consume sorted KV text identically."""
+    """Combiner/reduce programs consume sorted KV text identically.
 
-    @pytest.mark.parametrize("tag", APP_TAGS)
+    Parametrized over the apps that actually carry a combiner (Table 2),
+    so combiner-less apps are asserted as such instead of skipped."""
+
+    @pytest.mark.parametrize("tag", COMBINER_TAGS)
     def test_combine_matches(self, tag):
         app = get_app(tag)
-        if app.combine_source is None:
-            pytest.skip(f"{tag} has no combiner")
         text = app.generate(80, seed=11)
         map_out, _ = run_filter(app.map_program(), text, backend="tree")
         kv = "\n".join(sorted(map_out.splitlines()))
@@ -57,6 +60,14 @@ class TestCombineAndReduceFilters:
             app.combine_program(), kv)
         assert out_c == out_t
         assert cnt_c == cnt_t
+
+    @pytest.mark.parametrize("tag", NO_COMBINER_TAGS)
+    def test_no_combiner_apps_have_none(self, tag):
+        app = get_app(tag)
+        assert app.combine_program() is None
+        assert app.translate_combine() is None
+        with pytest.raises(ConfigError, match="no combiner"):
+            app.cpu_combine("k\t1\n")
 
 
 class TestErrorParity:

@@ -1,0 +1,165 @@
+"""Unit tests for the conformance fuzzer itself (repro.fuzz).
+
+The corpus replay tests (test_fuzz_corpus.py) prove old divergences stay
+fixed; these tests prove the *machinery* — generator determinism and
+well-formedness, oracle conformance over a fresh slice, the shrinker's
+reduction loop, and campaign digests/persistence.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.fuzz.gen import (
+    KIND_SCHEDULE,
+    KINDS,
+    FuzzCase,
+    generate_case,
+    generate_source,
+)
+from repro.fuzz.oracle import Divergence, run_case
+from repro.fuzz.runner import load_corpus, persist_divergence, run_campaign
+from repro.fuzz import shrink as shrink_mod
+from repro.fuzz.shrink import shrink_case
+from repro.minic import parse
+
+
+class TestGenerator:
+    def test_deterministic_for_fixed_seed(self):
+        for index in range(12):
+            a = generate_case(9, index)
+            b = generate_case(9, index)
+            assert (a.source, a.input_text, a.combine_source) == \
+                (b.source, b.input_text, b.combine_source)
+
+    def test_schedule_covers_all_kinds(self):
+        assert set(KIND_SCHEDULE) == set(KINDS)
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_sources_parse(self, kind):
+        for seed in range(6):
+            program = parse(generate_source(seed, kind))
+            assert program.main is not None
+
+    def test_mapper_assigns_int_key_before_use(self):
+        # Regression: reading last iteration's kv is a cross-record
+        # dependence; CPU and GPU would legitimately disagree on it.
+        seen_int_key = 0
+        for seed in range(40):
+            source = generate_source(seed, "mapper")
+            if "int kv;" not in source:
+                continue
+            seen_int_key += 1
+            body = source[source.index("getWord"):]
+            assert body.index("kv = (abs(atoi(word))") < body.index("val =")
+        assert seen_int_key > 0
+
+    def test_case_names_unique_within_campaign(self):
+        names = [generate_case(0, i).name for i in range(20)]
+        assert len(set(names)) == len(names)
+
+
+class TestOracleSlice:
+    """A fresh slice of the case stream conforms (fast tier-1 witness;
+    the 300-case sweep runs in the nightly CI job)."""
+
+    @pytest.mark.parametrize("index", range(10))
+    def test_case_conforms(self, index):
+        divergence = run_case(generate_case(0, index))
+        assert divergence is None, divergence.report()
+
+
+class TestShrinker:
+    def _fake_oracle(self, marker: str):
+        def fake(case: FuzzCase):
+            if marker in case.source and case.input_text.count("\n") >= 1:
+                return Divergence(case, "fake-check", "synthetic")
+            return None
+        return fake
+
+    def test_deletes_irrelevant_statements_and_lines(self, monkeypatch):
+        monkeypatch.setattr(shrink_mod, "run_case",
+                            self._fake_oracle('printf("keep'))
+        case = FuzzCase(
+            kind="expr", seed=0, index=0,
+            source=(
+                "int main() {\n"
+                "int a; int b;\n"
+                "a = 1; b = 2;\n"
+                "a = (a + b); b = (b * 3);\n"
+                'printf("keep %d\\n", a);\n'
+                'printf("drop %d\\n", b);\n'
+                "return 0;\n}\n"
+            ),
+            input_text="one\ntwo\nthree\nfour\n",
+        )
+        small = shrink_case(case, "fake-check")
+        assert 'printf("keep' in small.source
+        assert 'printf("drop' not in small.source
+        assert small.input_text.count("\n") <= 2
+        assert len(small.source) < len(case.source)
+
+    def test_rejects_mutants_with_other_checks(self, monkeypatch):
+        def fake(case: FuzzCase):
+            if "b = 2" not in case.source:
+                return Divergence(case, "other-check", "different bug")
+            return Divergence(case, "fake-check", "synthetic")
+        monkeypatch.setattr(shrink_mod, "run_case", fake)
+        case = FuzzCase(
+            kind="expr", seed=0, index=0,
+            source="int main() {\nint b;\nb = 2;\nreturn 0;\n}\n",
+            input_text="",
+        )
+        small = shrink_case(case, "fake-check")
+        assert "b = 2" in small.source
+
+    def test_attempt_budget_is_respected(self, monkeypatch):
+        calls = []
+
+        def fake(case: FuzzCase):
+            calls.append(1)
+            return Divergence(case, "fake-check", "synthetic")
+        monkeypatch.setattr(shrink_mod, "run_case", fake)
+        case = FuzzCase(
+            kind="expr", seed=0, index=0,
+            source="int main() {\nint a;\na = 1;\nreturn 0;\n}\n",
+            input_text="x\n" * 40,
+        )
+        shrink_case(case, "fake-check", max_attempts=25)
+        assert len(calls) <= 26  # budget + the normalization probe
+
+
+class TestCampaign:
+    def test_digest_reproducible(self):
+        a = run_campaign(seed=4, count=8, shrink=False)
+        b = run_campaign(seed=4, count=8, shrink=False)
+        assert a.ok and b.ok
+        assert a.digest == b.digest
+        assert a.executed == 8
+
+    def test_time_budget_stops_early(self):
+        result = run_campaign(seed=4, count=10_000, time_budget=0.0)
+        assert result.executed < 10_000
+
+    def test_persist_and_load_round_trip(self, tmp_path):
+        case = FuzzCase(
+            kind="mapper", seed=1, index=2,
+            source="int main() { return 0; }\n",
+            input_text="a b\n",
+            gpu=True,
+            combine_source="int main() { return 1; }\n",
+        )
+        div = Divergence(case, "some-check", "details here")
+        entry = persist_divergence(tmp_path, case, div)
+        assert json.loads((entry / "meta.json").read_text())["check"] == \
+            "some-check"
+        loaded = load_corpus(tmp_path)
+        assert len(loaded) == 1
+        got = loaded[0]
+        assert (got.kind, got.seed, got.index, got.gpu) == ("mapper", 1, 2, True)
+        assert got.source == case.source
+        assert got.input_text == case.input_text
+        assert got.combine_source == case.combine_source
+        assert got.label == "some-check"

@@ -1,8 +1,12 @@
 """Printer tests: output re-parses to the same program (round-trip)."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro.fuzz.gen import KINDS, generate_source
 from repro.minic import parse, pprint_program
+from repro.minic.astcmp import ast_diff
 from repro.minic.interpreter import run_filter
 
 
@@ -15,6 +19,8 @@ ROUND_TRIP_SOURCES = [
     "int sq(int x) { return x * x; }\nint main() { return sq(4); }",
     "int main() { int a[3]; a[0] = 1; a[1] = a[0] << 2; return a[1] % 3; }",
     "int main() { int i; i = 0; while (1) { i++; if (i > 3) break; } return i; }",
+    # '-' of a negated operand must not print as the '--' token.
+    "int main() { int x; x = 2; x = - -~x; return - -x; }",
 ]
 
 
@@ -40,6 +46,44 @@ def test_round_trip_is_stable():
 def test_pragma_preserved_in_output(wc_map_source):
     printed = pprint_program(parse(wc_map_source))
     assert "#pragma mapreduce mapper" in printed
+
+
+class TestRoundTripProperty:
+    """parse(pprint(parse(s))) is the same AST for fuzzer-made programs.
+
+    Reuses the conformance fuzzer's grammar-directed generator, so the
+    property covers the full construct mix the fuzzer exercises
+    (directive-annotated mappers and combiners included), not just the
+    hand-picked sources above. Equality ignores only line numbers and
+    the retained source text (repro.minic.astcmp)."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           kind=st.sampled_from(KINDS))
+    def test_parse_pretty_parse_is_identity(self, seed, kind):
+        source = generate_source(seed, kind)
+        original = parse(source)
+        printed = pprint_program(original)
+        reparsed = parse(printed)
+        assert ast_diff(original, reparsed) is None
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           kind=st.sampled_from(KINDS))
+    def test_pretty_is_idempotent(self, seed, kind):
+        once = pprint_program(parse(generate_source(seed, kind)))
+        assert pprint_program(parse(once)) == once
+
+    def test_astcmp_catches_structural_change(self):
+        a = parse("int main() { return 1 + 2; }")
+        b = parse("int main() { return 1 + 3; }")
+        diff = ast_diff(a, b)
+        assert diff is not None and "value" in diff
+
+    def test_astcmp_ignores_line_numbers(self):
+        a = parse("int main() { return 1; }")
+        b = parse("\n\nint main() {\nreturn 1;\n}")
+        assert ast_diff(a, b) is None
 
 
 def test_string_escapes_in_output():
