@@ -1,19 +1,30 @@
-"""Interpreter-backend benchmark: tree-walker vs closure-compiled.
+"""Execution-engine benchmarks: tree-walking vs closure-compiled.
 
-Runs complete CPU-path local jobs (``LocalJobRunner(use_gpu=False)``)
-for selected benchmarks under both mini-C interpreter backends and
-reports records/second plus the compiled-over-tree speedup. The two
-runs must produce identical job output — a speedup over a wrong answer
-is no speedup — so every bench run doubles as a differential test.
+Two benchmark paths, both running complete local jobs:
+
+* **cpu** — ``LocalJobRunner(use_gpu=False)`` under both mini-C
+  interpreter backends (the PR-1 comparison; canonical report
+  ``BENCH_interp.json``);
+* **gpu** — ``LocalJobRunner(use_gpu=True)`` under the tree-walking
+  GPU path (``"tree"`` lane engine + ``"tree"`` mini-C backend — the
+  fully interpreted reference) vs the compiled lane engine (canonical
+  report ``BENCH_gpu.json``).
+
+Each path reports records/second plus the compiled-over-tree speedup.
+The paired runs must produce identical job output — a speedup over a
+wrong answer is no speedup — so every bench run doubles as a
+differential test; the GPU path additionally requires bit-identical
+simulated task times, since the engines share one timing model.
 
 Timing uses ``time.process_time()`` (CPU time, immune to scheduler
 noise) and keeps the best of ``repeat`` runs, which is the stable
-estimator for a single-threaded hot loop. The two backends are timed
+estimator for a single-threaded hot loop. The two engines are timed
 in interleaved rounds (tree, compiled, tree, compiled, ...) rather
 than back-to-back phases, so slow CPU-frequency drift over the bench
-run biases both backends equally instead of skewing the ratio.
+run biases both engines equally instead of skewing the ratio.
 
-CLI: ``python -m repro bench --out BENCH_interp.json``.
+CLI: ``python -m repro bench --path all --json`` regenerates both
+canonical reports in one command.
 """
 
 from __future__ import annotations
@@ -24,6 +35,7 @@ from typing import Any, Iterable
 
 from .apps import get_app
 from .errors import ReproError
+from .gpu.engine import use_gpu_engine
 from .minic.interpreter import use_backend
 
 #: Default record counts, sized so the tree-walker run stays around a
@@ -38,7 +50,24 @@ _DEFAULT_RECORDS = {
     "CL": 400,
     "BS": 1500,
 }
+
+#: GPU-path record counts: sized so the tree-walking GPU run lands
+#: around 1–2 s. WC is larger than its CPU figure because the map
+#: kernel amortizes per-lane setup over more records per lane.
+_DEFAULT_GPU_RECORDS = {
+    "GR": 4000,
+    "WC": 4000,
+    "HS": 4000,
+    "HR": 4000,
+    "LR": 1500,
+    "KM": 300,
+    "CL": 400,
+    "BS": 1500,
+}
 DEFAULT_APPS = ("WC", "KM")
+
+#: Where ``--json`` writes each path's report.
+CANONICAL_REPORTS = {"cpu": "BENCH_interp.json", "gpu": "BENCH_gpu.json"}
 
 
 def _timed_run(runner: Any, text: str, backend: str) -> tuple[float, dict]:
@@ -88,13 +117,92 @@ def bench_app(short: str, records: int | None = None, repeat: int = 3,
 
 def run_bench(apps: Iterable[str] = DEFAULT_APPS, records: int | None = None,
               repeat: int = 3, seed: int = 7) -> dict[str, Any]:
-    """Benchmark several apps; returns the report dict."""
+    """Benchmark several apps on the CPU path; returns the report dict."""
     results = [bench_app(a, records=records, repeat=repeat, seed=seed)
                for a in apps]
     return {
         "benchmark": "mini-C interpreter backends, CPU-path local jobs",
         "method": ("best-of-N process_time, interleaved backend rounds, "
                    "identical-output enforced"),
+        "repeat": repeat,
+        "results": results,
+    }
+
+
+def _timed_gpu_run(runner: Any, text: str, engine: str,
+                   backend: str) -> tuple[float, Any]:
+    with use_gpu_engine(engine), use_backend(backend):
+        start = time.process_time()
+        result = runner.run(text)
+        return time.process_time() - start, result
+
+
+def bench_gpu_app(short: str, records: int | None = None, repeat: int = 3,
+                  seed: int = 7,
+                  split_bytes: int = 64 * 1024) -> dict[str, Any]:
+    """Benchmark one app's GPU-path local job under both lane engines.
+
+    The tree side is the fully interpreted reference (tree lane engine
+    *and* tree mini-C backend); the compiled side is the default
+    compiled lane engine. Beyond identical output, both runs must
+    produce bit-identical simulated task seconds — the engines feed one
+    timing model and may not drift.
+    """
+    from .hadoop.local import LocalJobRunner
+
+    app = get_app(short)
+    n = records if records is not None else _DEFAULT_GPU_RECORDS.get(short, 1000)
+    text = app.generate(n, seed=seed)
+    runner = LocalJobRunner(app, use_gpu=True, split_bytes=split_bytes)
+
+    # Warm both engines (parse/compile/translate/snapshot caches).
+    _, tree_res = _timed_gpu_run(runner, text, "tree", "tree")
+    _, compiled_res = _timed_gpu_run(runner, text, "compiled", "compiled")
+    tree_s = compiled_s = float("inf")
+    for _ in range(max(repeat, 1)):
+        elapsed, tree_res = _timed_gpu_run(runner, text, "tree", "tree")
+        tree_s = min(tree_s, elapsed)
+        elapsed, compiled_res = _timed_gpu_run(runner, text, "compiled",
+                                               "compiled")
+        compiled_s = min(compiled_s, elapsed)
+
+    if tree_res.output != compiled_res.output:
+        raise ReproError(
+            f"{short}: GPU engine outputs diverge "
+            f"({len(tree_res.output)} vs {len(compiled_res.output)} keys)"
+        )
+    tree_sim = [r.seconds for r in tree_res.gpu_task_results]
+    compiled_sim = [r.seconds for r in compiled_res.gpu_task_results]
+    if tree_sim != compiled_sim:
+        raise ReproError(
+            f"{short}: GPU engines disagree on simulated task seconds "
+            f"({tree_sim} vs {compiled_sim})"
+        )
+    return {
+        "app": short,
+        "records": n,
+        "output_keys": len(compiled_res.output),
+        "simulated_map_seconds": round(sum(compiled_sim), 6),
+        "tree_seconds": round(tree_s, 4),
+        "compiled_seconds": round(compiled_s, 4),
+        "tree_records_per_s": round(n / tree_s, 1) if tree_s else None,
+        "compiled_records_per_s": round(n / compiled_s, 1)
+        if compiled_s else None,
+        "speedup": round(tree_s / compiled_s, 2) if compiled_s else None,
+    }
+
+
+def run_gpu_bench(apps: Iterable[str] = DEFAULT_APPS,
+                  records: int | None = None, repeat: int = 3,
+                  seed: int = 7) -> dict[str, Any]:
+    """Benchmark several apps on the GPU path; returns the report dict."""
+    results = [bench_gpu_app(a, records=records, repeat=repeat, seed=seed)
+               for a in apps]
+    return {
+        "benchmark": "GPU lane engines, GPU-path local jobs",
+        "method": ("best-of-N process_time, interleaved engine rounds, "
+                   "identical output and simulated seconds enforced; "
+                   "tree = tree lane engine + tree mini-C backend"),
         "repeat": repeat,
         "results": results,
     }

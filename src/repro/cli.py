@@ -114,26 +114,45 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
     from . import bench
 
+    paths = ("cpu", "gpu") if args.path == "all" else (args.path,)
+    if args.out and len(paths) > 1:
+        raise ReproError("--out needs a single --path; "
+                         "use --json to write both canonical reports")
     apps = args.apps or list(bench.DEFAULT_APPS)
-    report = bench.run_bench(apps, records=args.records,
-                             repeat=args.repeat, seed=args.seed)
-    for r in report["results"]:
-        print(f"{r['app']:4s} {r['records']:6d} records  "
-              f"tree {r['tree_records_per_s']:10.1f} rec/s  "
-              f"compiled {r['compiled_records_per_s']:10.1f} rec/s  "
-              f"speedup {r['speedup']:.2f}x")
-    if args.out:
-        bench.write_report(report, args.out)
-        print(f"wrote {args.out}")
-    if args.min_speedup is not None:
-        slow = bench.check_min_speedup(report, args.min_speedup)
-        if slow:
-            print(f"error: below --min-speedup {args.min_speedup}: "
-                  f"{', '.join(slow)}", file=sys.stderr)
-            return 1
-    return 0
+    rc = 0
+    reports: dict[str, dict] = {}
+    for path in paths:
+        run = bench.run_bench if path == "cpu" else bench.run_gpu_bench
+        report = run(apps, records=args.records, repeat=args.repeat,
+                     seed=args.seed)
+        reports[path] = report
+        if not args.json:
+            print(f"[{path} path]")
+            for r in report["results"]:
+                print(f"{r['app']:4s} {r['records']:6d} records  "
+                      f"tree {r['tree_records_per_s']:10.1f} rec/s  "
+                      f"compiled {r['compiled_records_per_s']:10.1f} rec/s  "
+                      f"speedup {r['speedup']:.2f}x")
+        out = args.out or (bench.CANONICAL_REPORTS[path] if args.json else None)
+        if out:
+            bench.write_report(report, out)
+            if not args.json:
+                print(f"wrote {out}")
+        if args.min_speedup is not None:
+            slow = bench.check_min_speedup(report, args.min_speedup)
+            if slow:
+                print(f"error: {path} path below --min-speedup "
+                      f"{args.min_speedup}: {', '.join(slow)}",
+                      file=sys.stderr)
+                rc = 1
+    if args.json:
+        payload = reports[paths[0]] if len(paths) == 1 else reports
+        print(json.dumps(payload, indent=2))
+    return rc
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
@@ -234,16 +253,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--task-scale", type=float, default=1.0)
     p.set_defaults(func=_cmd_simulate)
 
-    p = sub.add_parser("bench", help="time the mini-C interpreter backends "
-                                     "on CPU-path local jobs")
+    p = sub.add_parser("bench", help="time tree-walking vs compiled "
+                                     "execution on local jobs")
     p.add_argument("--apps", nargs="*", metavar="TAG",
                    help="benchmark tags (default: WC KM)")
+    p.add_argument("--path", choices=("cpu", "gpu", "all"), default="cpu",
+                   help="cpu: interpreter backends on streaming jobs; "
+                        "gpu: lane engines on GPU-path jobs; all: both")
     p.add_argument("--records", type=int, default=None,
                    help="records per app (default: per-app sizes)")
     p.add_argument("--repeat", type=int, default=3)
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--out", help="write the JSON report here "
-                                 "(e.g. BENCH_interp.json)")
+                                 "(single --path only)")
+    p.add_argument("--json", action="store_true",
+                   help="print the report as JSON and write the canonical "
+                        "BENCH_interp.json / BENCH_gpu.json for each path")
     p.add_argument("--min-speedup", type=float, default=None,
                    help="exit nonzero if any app's speedup is below this")
     p.set_defaults(func=_cmd_bench)

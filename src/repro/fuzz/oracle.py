@@ -1,6 +1,9 @@
-"""Differential oracle: run one case through every applicable backend.
+"""Differential oracle: run one case through every applicable engine.
 
-Comparison boundaries, strictest first:
+Four engines execute each eligible case: the tree and compiled CPU
+backends, the tree-walking GPU lane engine (itself run under both CPU
+backends), and the compiled GPU lane engine. Comparison boundaries,
+strictest first:
 
 * tree vs. compiled CPU backends — stdout must be byte-identical,
   :class:`ExecCounters` bit-identical, and any ``CRuntimeError`` must
@@ -8,11 +11,15 @@ Comparison boundaries, strictest first:
 * mapper cases — a full ``LocalJobRunner`` job (map → combine →
   shuffle → reduce) with ``use_gpu=False`` vs. ``use_gpu=True`` must
   produce the same final output dict; and the GPU job itself must be
-  invariant under the CPU backend used to execute kernel regions (same
-  outputs AND bit-identical simulated seconds).
+  invariant across lane engines and across the CPU backend used to
+  execute kernel regions: same outputs, bit-identical simulated
+  seconds, and bit-identical map-launch ``ExecCounters`` and
+  ``KernelCost`` (the full per-warp charge fold).
 * combiner cases with integer values — the standalone GPU combine
   kernel may emit chunk-boundary partial aggregates (paper §4.2), so
-  only per-key sums are compared against the serial combiner.
+  only per-key sums are compared against the serial combiner; but the
+  two lane engines must agree on the kernel's exact output pairs,
+  counters, and cost first.
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ from ..apps.base import Application
 from ..config import CLUSTER1
 from ..errors import ReproError
 from ..gpu.device import GpuDevice
+from ..gpu.engine import use_gpu_engine
 from ..gpu.executor import run_combine_kernel
 from ..hadoop.local import LocalJobRunner, parse_kv_line
 from ..kvstore.global_store import KVPair
@@ -157,21 +165,42 @@ def _compare_mapper_job(case: FuzzCase) -> Divergence | None:
         return Divergence(case, "cpu-job-error",
                           f"{type(exc).__name__}: {exc}")
     try:
-        with use_backend("compiled"):
+        # Three GPU configurations: the tree lane engine under both CPU
+        # backends (kernel bodies interpreted vs compiled), plus the
+        # compiled lane engine. All three must agree exactly.
+        with use_gpu_engine("tree"):
+            with use_backend("compiled"):
+                gpu_tc = _run_job(app, case.input_text, use_gpu=True)
+            with use_backend("tree"):
+                gpu_tt = _run_job(app, case.input_text, use_gpu=True)
+        with use_gpu_engine("compiled"):
             gpu_c = _run_job(app, case.input_text, use_gpu=True)
-        with use_backend("tree"):
-            gpu_t = _run_job(app, case.input_text, use_gpu=True)
     except ReproError as exc:
         return Divergence(case, "gpu-job-error",
                           f"{type(exc).__name__}: {exc}")
-    if gpu_c.output != gpu_t.output:
-        return Divergence(case, "gpu-backend-output",
-                          _fmt_output_diff(gpu_t.output, gpu_c.output))
-    sec_c = [r.seconds for r in gpu_c.gpu_task_results]
-    sec_t = [r.seconds for r in gpu_t.gpu_task_results]
-    if sec_c != sec_t:
-        return Divergence(case, "gpu-backend-seconds",
-                          f"tree={sec_t}\ncompiled={sec_c}")
+    runs = [("tree/tree", gpu_tt), ("tree/compiled", gpu_tc),
+            ("compiled", gpu_c)]
+    for name, gpu in runs[1:]:
+        if gpu.output != gpu_tt.output:
+            return Divergence(case, f"gpu-engine-output:{name}",
+                              _fmt_output_diff(gpu_tt.output, gpu.output))
+        sec = [r.seconds for r in gpu.gpu_task_results]
+        sec_tt = [r.seconds for r in gpu_tt.gpu_task_results]
+        if sec != sec_tt:
+            return Divergence(case, f"gpu-engine-seconds:{name}",
+                              f"tree/tree={sec_tt}\n{name}={sec}")
+        for i, (a, b) in enumerate(zip(gpu_tt.gpu_task_results,
+                                       gpu.gpu_task_results)):
+            if a.map_launch.counters != b.map_launch.counters:
+                return Divergence(
+                    case, f"gpu-engine-counters:{name}",
+                    f"task {i}: tree/tree={a.map_launch.counters}\n"
+                    f"{name}={b.map_launch.counters}")
+            if a.map_launch.cost != b.map_launch.cost:
+                return Divergence(
+                    case, f"gpu-engine-cost:{name}",
+                    f"task {i}: tree/tree={a.map_launch.cost}\n"
+                    f"{name}={b.map_launch.cost}")
     if cpu.output != gpu_c.output:
         return Divergence(case, "cpu-vs-gpu-job",
                           _fmt_output_diff(cpu.output, gpu_c.output))
@@ -205,10 +234,27 @@ def _compare_combine_kernel(case: FuzzCase) -> Divergence | None:
         pairs = [KVPair(*parse_kv_line(ln), 0)
                  for ln in case.input_text.splitlines() if ln]
         device = GpuDevice(CLUSTER1.gpu)
-        launch = run_combine_kernel(device, kernel, pairs, snapshot)
+        launch = run_combine_kernel(device, kernel, pairs, snapshot,
+                                    engine="compiled")
+        launch_t = run_combine_kernel(device, kernel, pairs, snapshot,
+                                      engine="tree")
     except ReproError as exc:
         return Divergence(case, "gpu-combine-error",
                           f"{type(exc).__name__}: {exc}")
+    # Lane engines must agree exactly — output pair-for-pair (including
+    # any §4.2 chunk-boundary partials), counters, and cost.
+    if launch.output != launch_t.output:
+        return Divergence(
+            case, "gpu-combine-engine-output",
+            f"tree={launch_t.output[:10]}\ncompiled={launch.output[:10]}")
+    if launch.counters != launch_t.counters:
+        return Divergence(
+            case, "gpu-combine-engine-counters",
+            f"tree={launch_t.counters}\ncompiled={launch.counters}")
+    if launch.cost != launch_t.cost:
+        return Divergence(
+            case, "gpu-combine-engine-cost",
+            f"tree={launch_t.cost}\ncompiled={launch.cost}")
     serial_out, _ = run_filter(parse(case.source), case.input_text,
                                max_steps=_MAX_STEPS)
     serial = [parse_kv_line(ln) for ln in serial_out.splitlines() if ln]

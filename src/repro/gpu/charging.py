@@ -1,0 +1,335 @@
+"""Pluggable per-lane cost charging — the charge-hook interface.
+
+The timing model's per-lane charges used to live in two places: an
+``Interpreter`` method override (``GpuInterpreter._charge_access``) and
+inline formulas inside the GPU builtins (``getRecord``/``emitKV``/
+``getKV``/``storeKV`` and the math/string wrappers). With two lane
+engines — the compiled closure engine (:mod:`repro.gpu.engine`) and the
+tree-walking reference — that layout would require keeping two copies of
+every formula bit-identical by hand.
+
+Instead, every charge now routes through one :class:`ChargeHook`
+object. Both engines bind the same hook, so the cost model exists in
+exactly one place and "identical WarpCost/KernelCost" is a structural
+property, not a testing aspiration (the differential suite still checks
+it). The hook also carries a stable ``profile_key`` so the kernel-body
+compile cache (:func:`repro.minic.cache.compiled_kernel_body`) can key
+compiled artifacts on *program + charge profile*, as alternative
+profiles may want different charge call sites compiled in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+#: Issue slots charged per device math-library call (__expf etc. are
+#: multi-instruction SFU sequences).
+MATH_CALL_INSTR = 8.0
+
+
+@dataclass
+class LaneCharges:
+    """Per-thread (lane) cost events; folded into WarpCost per warp."""
+
+    instructions: float = 0.0
+    global_txn: float = 0.0
+    shared_accesses: float = 0.0
+    shared_atomics: float = 0.0
+    global_atomics: float = 0.0
+    texture_accesses: float = 0.0
+
+
+class ChargeHook:
+    """Interface between kernel execution and the timing model.
+
+    One method per charging event the simulator produces. Implementations
+    must be pure accumulators: mutate the passed ``LaneCharges`` /
+    ``ExecCounters`` and return nothing, so both lane engines can call
+    them from arbitrary execution contexts.
+
+    Most charge arguments are launch constants (transaction width, KV
+    record size, vector width, stealing mode), so the hot-path surface is
+    the ``bind_*`` family: called once per builtin table, each returns a
+    closure specialized to those constants that the builtins then invoke
+    per event. The per-event methods remain the simple override surface —
+    the default ``bind_*`` implementations just close over them — but a
+    profile may override ``bind_*`` directly to fold its
+    constant-argument arithmetic into bind time (see
+    :class:`SpaceChargeHook`, which defines each formula exactly once, in
+    the bound form, and points the per-event method back at it).
+
+    ``profile_key`` must uniquely identify the charge *profile* (the set
+    of formulas), because compiled kernel bodies are cached per
+    (program, profile).
+    """
+
+    profile_key = "null"
+
+    def access(self, charges: LaneCharges, buffer: Any,
+               is_store: bool) -> None:
+        """One array-element load/store, charged by memory space."""
+
+    def record_read(self, charges: LaneCharges, counters: Any,
+                    nbytes: int, txn_bytes: int, stealing: bool) -> None:
+        """``getRecord``: one input record pulled into the lane."""
+
+    def kv_emit(self, charges: LaneCharges, counters: Any,
+                nbytes: int, vec: int) -> None:
+        """``emitKV``: one pair written to the global KV store."""
+
+    def kv_move(self, charges: LaneCharges, kv_bytes: int, txn_bytes: int,
+                vec: int, cooperative: bool) -> None:
+        """``getKV``/``storeKV``: one pair moved through global memory."""
+
+    def math_call(self, charges: LaneCharges, counters: Any) -> None:
+        """One device math-library call."""
+
+    def string_call(self, charges: LaneCharges, length: int,
+                    vec: int) -> None:
+        """One device string-library call over ``length`` chars."""
+
+    # -- launch-constant bindings (the hot-path surface) --------------------
+
+    def bind_record_read(self, txn_bytes: int,
+                         stealing: bool) -> Callable[[Any, Any, int], None]:
+        """Specialize :meth:`record_read` to a launch's constants."""
+        record_read = self.record_read
+
+        def charge(charges: LaneCharges, counters: Any, nbytes: int) -> None:
+            record_read(charges, counters, nbytes, txn_bytes, stealing)
+
+        return charge
+
+    def bind_kv_emit(self, nbytes: int,
+                     vec: int) -> Callable[[Any, Any], None]:
+        """Specialize :meth:`kv_emit` to a launch's constants."""
+        kv_emit = self.kv_emit
+
+        def charge(charges: LaneCharges, counters: Any) -> None:
+            kv_emit(charges, counters, nbytes, vec)
+
+        return charge
+
+    def bind_kv_move(self, kv_bytes: int, txn_bytes: int, vec: int,
+                     cooperative: bool) -> Callable[[Any], None]:
+        """Specialize :meth:`kv_move` to a launch's constants."""
+        kv_move = self.kv_move
+
+        def charge(charges: LaneCharges) -> None:
+            kv_move(charges, kv_bytes, txn_bytes, vec, cooperative)
+
+        return charge
+
+    def bind_math_call(self) -> Callable[[Any, Any], None]:
+        """Per-launch math-call charge closure."""
+        math_call = self.math_call
+
+        def charge(charges: LaneCharges, counters: Any) -> None:
+            math_call(charges, counters)
+
+        return charge
+
+    def bind_string_call(self, vec: int) -> Callable[[Any, int], None]:
+        """Specialize :meth:`string_call` to a launch's vector width."""
+        string_call = self.string_call
+
+        def charge(charges: LaneCharges, length: int) -> None:
+            string_call(charges, length, vec)
+
+        return charge
+
+    # -- engine bindings ----------------------------------------------------
+
+    def bind_charges(self, charges: LaneCharges) -> Callable[[Any, bool], None]:
+        """Per-lane access-charge closure over a fixed LaneCharges (the
+        tree engine builds one interpreter — and one of these — per
+        lane)."""
+        access = self.access
+
+        def charge(buffer: Any, is_store: bool) -> None:
+            access(charges, buffer, is_store)
+
+        return charge
+
+    def bind_state(self, state: Any) -> Callable[[Any, bool], None]:
+        """Per-launch access-charge closure reading ``state.charges``
+        (the compiled engine re-points one LaneState at each lane's
+        charges instead of rebuilding closures)."""
+        access = self.access
+
+        def charge(buffer: Any, is_store: bool) -> None:
+            access(state.charges, buffer, is_store)
+
+        return charge
+
+
+class SpaceChargeHook(ChargeHook):
+    """The calibrated HeteroDoop profile: charges by memory space and by
+    the coalescing/vectorization behavior of each runtime primitive
+    (paper §4.1–4.2, Fig. 7 mechanisms)."""
+
+    profile_key = "space-v1"
+
+    def access(self, charges: LaneCharges, buffer: Any,
+               is_store: bool) -> None:
+        """Per-element array accesses are throughput costs, not bare
+        latencies: loops over cached arrays pipeline, so most of the cost
+        lands in the issue domain (which divergence and load balance
+        modulate) with only the cache-miss fraction paying a transaction.
+
+        This is the hottest charge in any kernel (every scalar assign and
+        array element lands here), so the engine bindings below inline
+        the same branch structure instead of calling through; the two
+        copies execute on opposite sides of the engine differential
+        suite, which compares their cost output bit for bit."""
+        if buffer is None:  # private/local: register-speed
+            charges.instructions += 1.0
+            return
+        space = getattr(buffer, "space", None)
+        if space == "texture":
+            # Dedicated on-chip texture cache: small tables stay resident.
+            charges.instructions += 2.0
+            charges.texture_accesses += 0.02
+        elif space == "global":
+            # Random global element reads miss far more often.
+            charges.instructions += 2.0
+            charges.global_txn += 0.08
+        elif space == "shared":
+            charges.shared_accesses += 1.0
+        else:  # private/local: register-speed
+            charges.instructions += 1.0
+
+    def bind_charges(self, charges: LaneCharges) -> Callable[[Any, bool], None]:
+        def charge(buffer: Any, is_store: bool) -> None:
+            if buffer is None:
+                charges.instructions += 1.0
+                return
+            space = getattr(buffer, "space", None)
+            if space == "texture":
+                charges.instructions += 2.0
+                charges.texture_accesses += 0.02
+            elif space == "global":
+                charges.instructions += 2.0
+                charges.global_txn += 0.08
+            elif space == "shared":
+                charges.shared_accesses += 1.0
+            else:
+                charges.instructions += 1.0
+
+        return charge
+
+    def bind_state(self, state: Any) -> Callable[[Any, bool], None]:
+        def charge(buffer: Any, is_store: bool) -> None:
+            charges = state.charges
+            if buffer is None:
+                charges.instructions += 1.0
+                return
+            space = getattr(buffer, "space", None)
+            if space == "texture":
+                charges.instructions += 2.0
+                charges.texture_accesses += 0.02
+            elif space == "global":
+                charges.instructions += 2.0
+                charges.global_txn += 0.08
+            elif space == "shared":
+                charges.shared_accesses += 1.0
+            else:
+                charges.instructions += 1.0
+
+        return charge
+
+    # Formulas live in the bound forms (launch-constant arithmetic done
+    # once per builtin table); the per-event methods delegate so one-off
+    # callers and the bound hot path can never drift apart.
+
+    def record_read(self, charges: LaneCharges, counters: Any,
+                    nbytes: int, txn_bytes: int, stealing: bool) -> None:
+        self.bind_record_read(txn_bytes, stealing)(charges, counters, nbytes)
+
+    def kv_emit(self, charges: LaneCharges, counters: Any,
+                nbytes: int, vec: int) -> None:
+        self.bind_kv_emit(nbytes, vec)(charges, counters)
+
+    def kv_move(self, charges: LaneCharges, kv_bytes: int, txn_bytes: int,
+                vec: int, cooperative: bool) -> None:
+        self.bind_kv_move(kv_bytes, txn_bytes, vec, cooperative)(charges)
+
+    def math_call(self, charges: LaneCharges, counters: Any) -> None:
+        self.bind_math_call()(charges, counters)
+
+    def string_call(self, charges: LaneCharges, length: int,
+                    vec: int) -> None:
+        self.bind_string_call(vec)(charges, length)
+
+    def bind_record_read(self, txn_bytes: int,
+                         stealing: bool) -> Callable[[Any, Any, int], None]:
+        # The record is read from the device input buffer. Each lane's
+        # record is a *sequential* byte stream: hardware prefetching hides
+        # much of the latency, so part of the cost is issue-side work
+        # (byte handling) proportional to the record length — which is
+        # what record stealing balances.
+        # Latency component (amortized over many in-flight requests) plus
+        # DRAM-throughput cycles charged as issue-side work.
+        txn_denom = 8.0 * txn_bytes
+
+        def charge(charges: LaneCharges, counters: Any, nbytes: int) -> None:
+            if stealing:
+                charges.shared_atomics += 1.0
+            charges.global_txn += max(0.25, nbytes / txn_denom)
+            charges.instructions += nbytes / 8.0 + nbytes / 64.0
+            counters.bytes_in += nbytes
+
+        return charge
+
+    def bind_kv_emit(self, nbytes: int,
+                     vec: int) -> Callable[[Any, Any], None]:
+        # Vectorized stores cut the issue count by the vector width; the
+        # per-thread store stream write-combines, so the latency component
+        # is amortized and shrinks up to 2x with wider accesses.
+        instr = nbytes / vec
+        txn = max(0.25, nbytes / (16.0 * min(vec, 2)))
+
+        def charge(charges: LaneCharges, counters: Any) -> None:
+            counters.bytes_out += nbytes
+            charges.instructions += instr
+            charges.global_txn += txn
+
+        return charge
+
+    def bind_kv_move(self, kv_bytes: int, txn_bytes: int, vec: int,
+                     cooperative: bool) -> Callable[[Any], None]:
+        if cooperative:
+            # Lane-per-element cooperative move: coalesced transactions.
+            txn = max(1.0, kv_bytes / txn_bytes)
+            instr = max(1.0, kv_bytes / (4.0 * vec))
+        else:
+            # Single active lane, word-at-a-time (uncoalesced).
+            txn = max(1.0, kv_bytes / 8.0)
+            instr = kv_bytes / 2.0
+
+        def charge(charges: LaneCharges) -> None:
+            charges.global_txn += txn
+            charges.instructions += instr
+
+        return charge
+
+    def bind_math_call(self) -> Callable[[Any, Any], None]:
+        def charge(charges: LaneCharges, counters: Any) -> None:
+            charges.instructions += MATH_CALL_INSTR
+            counters.fp_ops += 4
+
+        return charge
+
+    def bind_string_call(self, vec: int) -> Callable[[Any, int], None]:
+        # Vectorized string ops move char4 at a time (paper §4.1).
+        denom = max(vec, 1)
+
+        def charge(charges: LaneCharges, length: int) -> None:
+            charges.instructions += max(1.0, length / denom)
+
+        return charge
+
+
+#: The profile every launch uses unless an experiment injects another.
+DEFAULT_CHARGE_HOOK = SpaceChargeHook()

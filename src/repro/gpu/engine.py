@@ -1,0 +1,638 @@
+"""GPU lane execution engines: compiled closures vs. the tree-walker.
+
+A kernel launch simulates thousands of lanes (threads). The *body* of a
+kernel has been closure-compiled since the mini-C compiled backend
+landed, but the per-lane harness around it — interpreter construction,
+a ~100-entry builtin table rebuilt per lane, scope-dict environment
+population, per-name free-variable lookup — was still paid per lane and
+dominated GPU-path wall time.
+
+This module provides two interchangeable lane engines:
+
+* ``"compiled"`` (default) — :class:`CompiledLaneRunner`. Per *launch*:
+  compile the kernel body once (cached per program + charge profile,
+  :func:`repro.minic.cache.compiled_kernel_body`), build the GPU builtin
+  table once, and precompute an *environment plan* — the (slot, factory)
+  list that materializes each lane's kernel variables straight into the
+  compiled body's frame. Per *lane*: reset a lean facade, run the plan's
+  factories, call the compiled closure. No interpreter, no scope dicts,
+  no table rebuilds.
+* ``"tree"`` — the original harness (one ``GpuInterpreter`` per lane,
+  ``build_thread_env`` scope population), kept as the differential
+  reference; select it with ``REPRO_GPU_ENGINE=tree`` or
+  :func:`use_gpu_engine`.
+
+Both engines share the launch-level builtins defined here and charge
+every cost through the same :class:`~repro.gpu.charging.ChargeHook`, so
+outputs, ``ExecCounters``, and ``WarpCost``/``KernelCost`` are
+bit-identical by construction — and machine-checked by the four-engine
+fuzz oracle and ``tests/test_gpu_compile_backend.py``.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+from ..compiler.kernel_ir import KernelIR, VarClass, VarInfo
+from ..errors import CRuntimeError, GpuError
+from ..kvstore.coerce import kv_text
+from ..minic import cast as A
+from ..minic import ctypes as T
+from ..minic.cache import compiled_kernel_body
+from ..minic.interpreter import ExecCounters
+from ..minic.stdlib import host_builtins
+from ..minic.values import Buffer, Cell, NULL, Ptr, ScalarRef
+from .charging import ChargeHook, DEFAULT_CHARGE_HOOK, LaneCharges
+
+__all__ = [
+    "GPU_ENGINES", "default_gpu_engine", "set_default_gpu_engine",
+    "use_gpu_engine", "LaneState", "CompiledLaneRunner",
+    "make_map_builtins", "make_combine_builtins", "kernel_program",
+]
+
+#: Statement budget per lane, mirroring Interpreter's default.
+_LANE_MAX_STEPS = 200_000_000
+
+_VOID_PTR = T.Pointer(T.VOID)
+
+
+# --------------------------------------------------------------------------
+# Engine selection
+# --------------------------------------------------------------------------
+
+#: Lane engines: "compiled" (per-launch compiled closures, the default
+#: hot path) and "tree" (per-lane GpuInterpreter, the reference).
+GPU_ENGINES = ("compiled", "tree")
+
+_default_engine = os.environ.get("REPRO_GPU_ENGINE", "compiled")
+
+
+def _check_engine(name: str) -> str:
+    if name not in GPU_ENGINES:
+        raise ValueError(
+            f"unknown GPU engine {name!r}; choose from {GPU_ENGINES}"
+        )
+    return name
+
+
+def default_gpu_engine() -> str:
+    """The engine kernel launches use when none is passed explicitly."""
+    return _default_engine
+
+
+def set_default_gpu_engine(name: str) -> str:
+    """Set the process-wide default GPU engine; returns the previous one."""
+    global _default_engine
+    previous = _default_engine
+    _default_engine = _check_engine(name)
+    return previous
+
+
+@contextmanager
+def use_gpu_engine(name: str) -> Iterator[None]:
+    """Temporarily switch the GPU engine (bench / differential tests)."""
+    previous = set_default_gpu_engine(name)
+    try:
+        yield
+    finally:
+        set_default_gpu_engine(previous)
+
+
+# --------------------------------------------------------------------------
+# Per-lane mutable state read by the launch-level builtins
+# --------------------------------------------------------------------------
+
+
+class LaneState:
+    """The mutable slice of a lane the GPU builtins read and write.
+
+    The builtin tables are built once per launch (compiled engine) or
+    once per lane (tree engine, preserving the reference harness); both
+    close over one of these instead of over per-lane values, so a single
+    builtin implementation serves both engines."""
+
+    __slots__ = ("records", "index", "charges", "global_tid",
+                 "chunk", "output")
+
+    def __init__(self) -> None:
+        self.records: list[bytes] = []
+        self.index = 0
+        self.charges: LaneCharges | None = None
+        self.global_tid = 0
+        self.chunk: list[Any] = []
+        self.output: list[tuple[Any, Any]] | None = None
+
+
+# --------------------------------------------------------------------------
+# Launch-level GPU builtins (shared by both engines)
+# --------------------------------------------------------------------------
+
+
+_MATH_FUNCS = frozenset(
+    ["sqrt", "sqrtf", "exp", "expf", "log", "logf", "log2", "pow", "powf",
+     "erf", "erff", "fabs", "fabsf", "floor", "ceil", "fmin", "fmax",
+     "sin", "sinf", "cos", "cosf", "tan", "atan"]
+)
+_STRING_FUNCS = frozenset(
+    ["strcmp", "strncmp", "strcpy", "strlen", "strcat", "strstr"]
+)
+
+
+def extract_value(arg: Any) -> Any:
+    """Convert an evaluated kernel argument to a plain Python KV datum."""
+    cls = arg.__class__
+    if cls is Ptr or cls is Buffer:
+        return arg.c_string()
+    if cls is ScalarRef:
+        return arg.deref()
+    return arg
+
+
+def _kv_number(text: str) -> int | float:
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        raise CRuntimeError(
+            f"getKV: cannot read {text!r} into a numeric variable"
+        ) from None
+
+
+def store_kv_arg(ref: Any, value: Any) -> None:
+    # getKV marshals off the shuffle's textual wire with scanf
+    # semantics: a char-array target reads the datum's text (%s) — an
+    # int key 42 arrives as "42", not as the char with code 42 — and a
+    # numeric target parses text back to a number (%d/%f).
+    if ref.__class__ is Ptr:
+        buf = ref.buffer
+        if buf is not None and buf.elem_type is T.CHAR:
+            buf.store_string(ref.offset, kv_text(value))
+        else:
+            ref.store(_kv_number(value) if value.__class__ is str else value)
+    elif ref.__class__ is ScalarRef:
+        ref.store(_kv_number(value) if value.__class__ is str else value)
+    else:
+        raise CRuntimeError(f"getKV target is not a pointer: {ref!r}")
+
+
+def common_lane_builtins(hook: ChargeHook, state: LaneState,
+                         vec: int) -> dict[str, Callable]:
+    """Device versions of the C library: same semantics as the host table,
+    plus cost charging through the launch's hook. The runtime 'provides
+    equivalent implementations' of C standard functions the GPU lacks
+    (paper §4.1)."""
+    base = host_builtins()
+    gpu: dict[str, Callable] = {}
+    charge_math = hook.bind_math_call()
+    charge_string = hook.bind_string_call(vec)
+
+    def wrap_math(fn: Callable) -> Callable:
+        def impl(interp: Any, args: list[Any]) -> Any:
+            charge_math(state.charges, interp.counters)
+            return fn(interp, args)
+
+        return impl
+
+    def wrap_string(fn: Callable) -> Callable:
+        def impl(interp: Any, args: list[Any]) -> Any:
+            length = 0
+            for arg in args:
+                if arg.__class__ is Ptr:
+                    buf = arg.buffer
+                    if buf is not None and buf.elem_type is T.CHAR:
+                        n = len(buf.c_string(arg.offset))
+                        if n > length:
+                            length = n
+            charge_string(state.charges, length)
+            return fn(interp, args)
+
+        return impl
+
+    for name, fn in base.items():
+        if name in _MATH_FUNCS:
+            gpu[name] = wrap_math(fn)
+        elif name in _STRING_FUNCS:
+            gpu[name] = wrap_string(fn)
+        elif name in ("printf", "scanf", "getline"):
+            continue  # must have been rewritten by the translator
+        else:
+            gpu[name] = fn
+
+    def bi_unsupported(name: str) -> Callable:
+        def impl(interp: Any, args: list[Any]) -> Any:
+            raise GpuError(
+                f"{name} survived translation into the GPU kernel; the "
+                "translator should have rewritten it"
+            )
+
+        return impl
+
+    for name in ("printf", "scanf", "getline"):
+        gpu[name] = bi_unsupported(name)
+    return gpu
+
+
+def make_map_builtins(kernel: KernelIR, device: Any, hook: ChargeHook,
+                      state: LaneState, store: Any,
+                      partitioner: Any) -> dict[str, Callable]:
+    """The map-kernel builtin table: common device library plus
+    ``getRecord``/``emitKV`` reading per-lane state."""
+    txn_bytes = device.spec.transaction_bytes
+    vec = max(kernel.vector_width, 1)
+    stealing = kernel.opt.record_stealing
+    kv_nbytes = kernel.key_length + kernel.value_length
+    charge_record = hook.bind_record_read(txn_bytes, stealing)
+    charge_emit = hook.bind_kv_emit(kv_nbytes, vec)
+
+    def bi_get_record(interp: Any, args: list[Any]) -> int:
+        records = state.records
+        i = state.index
+        if i >= len(records):
+            return -1
+        rec = records[i]
+        state.index = i + 1
+        charge_record(state.charges, interp.counters, len(rec))
+        if rec.isascii():
+            # ASCII bytes survive the decode/encode round trip unchanged,
+            # so the record can back the buffer directly.
+            buf = Buffer(T.CHAR, len(rec) + 1, label="strlit")
+            buf.data[: len(rec)] = rec
+        else:
+            buf = Buffer.from_string(rec.decode("utf-8", errors="replace"))
+        buf.space = "private"
+        ref = args[0]
+        if not isinstance(ref, (ScalarRef, Ptr)):
+            raise CRuntimeError("getRecord needs &line")
+        ref.store(Ptr(buf, 0))
+        return len(rec)
+
+    def bi_emit_kv(interp: Any, args: list[Any]) -> int:
+        if len(args) != 2:
+            raise CRuntimeError("emitKV(key, value)")
+        key = extract_value(args[0])
+        value = extract_value(args[1])
+        part = partitioner.partition(key)
+        store.emit(state.global_tid, key, value, part)
+        charge_emit(state.charges, interp.counters)
+        return kv_nbytes
+
+    builtins = common_lane_builtins(hook, state, vec)
+    builtins["getRecord"] = bi_get_record
+    builtins["emitKV"] = bi_emit_kv
+    return builtins
+
+
+def make_combine_builtins(kernel: KernelIR, device: Any, hook: ChargeHook,
+                          state: LaneState) -> dict[str, Callable]:
+    """The combine-kernel builtin table: common device library plus
+    ``getKV``/``storeKV`` reading per-lane state."""
+    txn_bytes = device.spec.transaction_bytes
+    vec = max(kernel.vector_width, 1)
+    cooperative = vec > 1
+    kv_bytes = kernel.key_length + kernel.value_length
+    charge_move = hook.bind_kv_move(kv_bytes, txn_bytes, vec, cooperative)
+
+    def bi_get_kv(interp: Any, args: list[Any]) -> int:
+        chunk = state.chunk
+        i = state.index
+        if i >= len(chunk):
+            return -1
+        pair = chunk[i]
+        state.index = i + 1
+        charge_move(state.charges)
+        interp.counters.bytes_in += kv_bytes
+        store_kv_arg(args[0], pair.key)
+        store_kv_arg(args[1], pair.value)
+        return 2
+
+    def bi_store_kv(interp: Any, args: list[Any]) -> int:
+        key = extract_value(args[0])
+        value = extract_value(args[1])
+        state.output.append((key, value))
+        charge_move(state.charges)
+        interp.counters.bytes_out += kv_bytes
+        return kv_bytes
+
+    builtins = common_lane_builtins(hook, state, vec)
+    builtins["getKV"] = bi_get_kv
+    builtins["storeKV"] = bi_store_kv
+    return builtins
+
+
+# --------------------------------------------------------------------------
+# Snapshot materialization helpers (shared with the tree engine)
+# --------------------------------------------------------------------------
+
+
+def clone_buffer(buf: Buffer, space: str) -> Buffer:
+    copy = Buffer(buf.elem_type, buf.size, label=buf.label, space=space)
+    copy.data[:] = buf.data
+    return copy
+
+
+def snapshot_value(snapshot: dict[str, Any], var: VarInfo) -> Any:
+    if var.name not in snapshot:
+        raise GpuError(
+            f"host snapshot missing firstprivate/sharedRO variable {var.name!r}"
+        )
+    return snapshot[var.name]
+
+
+def kernel_program(kernel: KernelIR) -> A.Program:
+    """A Program wrapper exposing the user's helper functions (anything
+    besides ``main``) so kernel bodies can call them — the paper's
+    translator emits ``__device__`` versions of such helpers.
+
+    One Program per kernel, cached on the KernelIR: a stable Program
+    identity is what lets the compile/str-literal caches in
+    :mod:`repro.minic.cache` hit across threads and splits instead of
+    re-walking the AST."""
+    program = kernel.__dict__.get("_cached_program")
+    if program is None:
+        program = A.Program(functions=kernel.helpers)
+        setattr(kernel, "_cached_program", program)
+    return program
+
+
+# --------------------------------------------------------------------------
+# Environment plans: build_thread_env semantics, compiled to factories
+# --------------------------------------------------------------------------
+
+
+def _array_factory(ctype: T.Array, kname: str,
+                   space: str | None) -> Callable[[], Cell]:
+    """Mirror of ``Interpreter._alloc_array`` + the executor's
+    ``cell.value.space = space`` follow-up, with the size math and the
+    >2-D rejection hoisted to plan-build time."""
+    base = ctype.base
+    size = ctype.size or 0
+    inner: int | None = None
+    if isinstance(base, T.Array):
+        inner = base.size or 0
+        size *= inner
+        base = base.base
+        if isinstance(base, T.Array):
+            raise CRuntimeError(
+                f"arrays of more than two dimensions unsupported ({kname})"
+            )
+    elem = base
+
+    def make() -> Cell:
+        buf = Buffer(elem, size, label=kname)
+        buf.inner_dim = inner
+        buf.space = space
+        return Cell(value=buf, ctype=ctype)
+
+    return make
+
+
+def _declare_factory(ctype: T.CType, kname: str,
+                     value: Any) -> Callable[[], Cell]:
+    """Mirror of ``Interpreter.declare(kname, ctype, value=value)``."""
+    if isinstance(ctype, T.Array):
+        return _array_factory(ctype, kname, space=None)
+    if value is None:
+        if ctype.is_pointer:
+            value = NULL
+        elif ctype.is_float:
+            value = 0.0
+        else:
+            value = 0
+    return lambda: Cell(value=value, ctype=ctype)
+
+
+def _var_cell_factory(var: VarInfo, snapshot: dict[str, Any],
+                      shared_ro: dict[str, Buffer]) -> Callable[[], Cell]:
+    """One kernel variable's per-lane Cell factory, reproducing the
+    branch structure (and error behavior) of ``build_thread_env``."""
+    kname = var.kernel_name
+    klass = var.klass
+    ctype = var.ctype
+    if klass is VarClass.CONST_SCALAR:
+        return _declare_factory(ctype, kname, snapshot_value(snapshot, var))
+    if klass in (VarClass.GLOBAL_RO_ARRAY, VarClass.TEXTURE_ARRAY):
+        ptr = Ptr(shared_ro[var.name], 0)
+        return lambda: Cell(value=ptr, ctype=_VOID_PTR)
+    if klass is VarClass.FIRSTPRIVATE_SCALAR:
+        return _declare_factory(ctype, kname, snapshot_value(snapshot, var))
+    if klass in (VarClass.FIRSTPRIVATE_ARRAY, VarClass.SHARED_ARRAY):
+        host_val = snapshot.get(var.name)
+        space = "shared" if klass is VarClass.SHARED_ARRAY else "private"
+        if isinstance(host_val, Buffer):
+            src = host_val
+        elif isinstance(host_val, Ptr) and host_val.buffer is not None:
+            src = host_val.buffer
+        elif isinstance(ctype, T.Array):
+            make_array = _array_factory(ctype, kname, space)
+            if host_val is not None:
+                raise GpuError(
+                    f"cannot initialize firstprivate array {var.name!r} "
+                    f"from {type(host_val).__name__}"
+                )
+            return make_array
+        else:
+            return _declare_factory(
+                ctype, kname, host_val if host_val is not None else 0
+            )
+        return lambda: Cell(value=Ptr(clone_buffer(src, space), 0),
+                            ctype=_VOID_PTR)
+    # PRIVATE
+    if isinstance(ctype, T.Array):
+        return _array_factory(ctype, kname, "private")
+    if ctype.is_pointer:
+        return lambda: Cell(value=NULL, ctype=ctype)
+    return _declare_factory(ctype, kname, None)
+
+
+#: Predefined C identifiers, matching ``Interpreter.__init__``'s
+#: ``_globals``. Factories, not shared cells: the tree engine gives every
+#: lane a fresh interpreter (fresh cells), and kernels may write them.
+_GLOBAL_CELL_FACTORIES: dict[str, Callable[[], Cell]] = {
+    "stdin": lambda: Cell(value="<stdin>", ctype=_VOID_PTR),
+    "stdout": lambda: Cell(value="<stdout>", ctype=_VOID_PTR),
+    "stderr": lambda: Cell(value="<stderr>", ctype=_VOID_PTR),
+    "NULL": lambda: Cell(value=NULL, ctype=_VOID_PTR),
+    "EOF": lambda: Cell(value=-1, ctype=T.INT),
+}
+
+
+def _fresh_globals() -> dict[str, Cell]:
+    return {name: make() for name, make in _GLOBAL_CELL_FACTORIES.items()}
+
+
+def build_env_plan(
+    suite: Any,
+    kernel: KernelIR,
+    snapshot: dict[str, Any],
+    shared_ro: dict[str, Buffer],
+) -> tuple[tuple[int, Callable[[], Cell]], ...]:
+    """The per-launch environment plan: for each free variable of the
+    compiled body, a (slot, factory) pair that materializes the lane's
+    Cell for it.
+
+    Every kernel variable is *validated* (snapshot presence, array
+    initialization, dimensionality) in declaration order even when the
+    body never references it, so plan construction raises exactly the
+    errors ``build_thread_env`` would raise on the first lane. Frees
+    that are neither kernel variables nor predefined globals keep their
+    None slot and fail lazily with the tree-walker's 'undeclared
+    identifier' message."""
+    free_slots: dict[str, int] = dict(suite.frees)
+    plan: list[tuple[int, Callable[[], Cell]]] = []
+    kernel_names: set[str] = set()
+    for var in kernel.variables.values():
+        kname = var.kernel_name
+        kernel_names.add(kname)
+        factory = _var_cell_factory(var, snapshot, shared_ro)
+        slot = free_slots.get(kname)
+        if slot is not None:
+            plan.append((slot, factory))
+    for name, slot in suite.frees:
+        if name in kernel_names:
+            continue
+        factory = _GLOBAL_CELL_FACTORIES.get(name)
+        if factory is not None:
+            plan.append((slot, factory))
+    return tuple(plan)
+
+
+# --------------------------------------------------------------------------
+# The compiled lane engine
+# --------------------------------------------------------------------------
+
+
+class KernelLaneFacade:
+    """Minimal Interpreter stand-in for compiled lane execution.
+
+    Exactly the attribute surface the compiled backend and the device
+    builtins touch: counters, builtins, heap, step budget, globals, the
+    charge hook binding, and a lazily created ``stdout`` (only
+    ``fprintf`` — which survives translation as a host-stream write —
+    ever asks for it)."""
+
+    __slots__ = ("counters", "builtins", "heap", "max_steps", "_steps",
+                 "_globals", "_charge_access", "_stdout")
+
+    def __init__(self, builtins: dict[str, Callable],
+                 charge: Callable[[Any, bool], None],
+                 globals_dict: dict[str, Cell]):
+        self.builtins = builtins
+        self._charge_access = charge
+        self._globals = globals_dict
+        self.max_steps = _LANE_MAX_STEPS
+        self.counters = ExecCounters()
+        self.heap: list[Buffer] = []
+        self._steps = 0
+        self._stdout: io.StringIO | None = None
+
+    @property
+    def stdout(self) -> io.StringIO:
+        out = self._stdout
+        if out is None:
+            out = self._stdout = io.StringIO()
+        return out
+
+
+class CompiledLaneRunner:
+    """Per-launch compiled execution context for one kernel.
+
+    Construction resolves everything that is launch-invariant: the
+    compiled body (from the job-level cache, keyed on program + charge
+    profile), the builtin table, the charge binding, and — lazily, on
+    the first active lane, matching the tree engine's error timing —
+    the environment plan. Each lane invocation is then: reset the
+    facade, run the plan's factories into a fresh frame, call the
+    compiled closure."""
+
+    def __init__(
+        self,
+        device: Any,
+        kernel: KernelIR,
+        snapshot: dict[str, Any],
+        shared_ro: dict[str, Buffer],
+        store: Any = None,
+        partitioner: Any = None,
+        hook: ChargeHook = DEFAULT_CHARGE_HOOK,
+    ):
+        self.kernel = kernel
+        self.snapshot = snapshot
+        self.shared_ro = shared_ro
+        self.hook = hook
+        # Scalar kernel variables whose per-lane cell is guaranteed to
+        # carry the declared ctype (their factories mirror
+        # Interpreter.declare); array/pointer-rewritten classes are left
+        # generic because their cells hold Ptr under a void* ctype.
+        free_cts = {
+            var.kernel_name: var.ctype
+            for var in kernel.variables.values()
+            if var.klass in (VarClass.CONST_SCALAR,
+                             VarClass.FIRSTPRIVATE_SCALAR, VarClass.PRIVATE)
+            and not isinstance(var.ctype, T.Array)
+        }
+        self.suite = compiled_kernel_body(
+            kernel_program(kernel), kernel.body, hook.profile_key, free_cts
+        )
+        self.state = state = LaneState()
+        if kernel.is_mapper:
+            builtins = make_map_builtins(kernel, device, hook, state,
+                                         store, partitioner)
+        else:
+            builtins = make_combine_builtins(kernel, device, hook, state)
+        # Helper functions bind their frees from the facade's globals, so
+        # they need per-lane cells (a helper may write them); bodies bind
+        # globals through the env plan instead, so helper-less kernels —
+        # the common case — share one launch-level dict.
+        self._fresh_globals_per_lane = bool(kernel.helpers)
+        self.facade = KernelLaneFacade(
+            builtins, hook.bind_state(state), _fresh_globals()
+        )
+        self._plan: tuple[tuple[int, Callable[[], Cell]], ...] | None = None
+
+    def _env_plan(self) -> tuple[tuple[int, Callable[[], Cell]], ...]:
+        plan = self._plan
+        if plan is None:
+            plan = self._plan = build_env_plan(
+                self.suite, self.kernel, self.snapshot, self.shared_ro
+            )
+        return plan
+
+    def _run_lane_body(self) -> ExecCounters:
+        facade = self.facade
+        facade.counters = counters = ExecCounters()
+        facade.heap = []
+        facade._steps = 0
+        facade._stdout = None
+        if self._fresh_globals_per_lane:
+            facade._globals = _fresh_globals()
+        suite = self.suite
+        frame: list = [None] * suite.nslots
+        for slot, make in self._env_plan():
+            frame[slot] = make()
+        suite.execute_with_frame(facade, frame)
+        return counters
+
+    def run_map_lane(self, thread_records: list[bytes], global_tid: int,
+                     charges: LaneCharges) -> ExecCounters:
+        state = self.state
+        state.records = thread_records
+        state.index = 0
+        state.charges = charges
+        state.global_tid = global_tid
+        return self._run_lane_body()
+
+    def run_combine_chunk(
+        self, chunk: list[Any], charges: LaneCharges
+    ) -> tuple[ExecCounters, list[tuple[Any, Any]]]:
+        state = self.state
+        state.chunk = chunk
+        state.index = 0
+        state.charges = charges
+        state.output = out = []
+        counters = self._run_lane_body()
+        return counters, out

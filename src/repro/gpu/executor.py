@@ -3,7 +3,7 @@
 Map kernels: records are split statically across threadblocks; within a
 block, threads either take a static round-robin share or *steal* records
 from the block's pool through a shared-memory atomic counter (paper's
-record stealing). Every active thread interprets the translated region
+record stealing). Every active thread executes the translated region
 with GPU-runtime builtins (``getRecord``/``emitKV``), emitting into its
 portion of the global KV store, while per-lane charges accumulate into
 warp costs for the timing model.
@@ -12,72 +12,64 @@ Combine kernels: each warp redundantly executes the combiner over a
 contiguous chunk of a sorted partition (``getKV``/``storeKV``), trading
 exact CPU-combiner equivalence for parallelism exactly as §4.2 sanctions —
 chunk-boundary keys yield partial aggregates that the reducer repairs.
+
+Lane bodies run on one of two engines (:mod:`repro.gpu.engine`): the
+default compiled engine calls a per-launch compiled closure per lane,
+while the ``"tree"`` engine keeps the original one-interpreter-per-lane
+harness as the differential reference. Both charge costs through the
+same :class:`~repro.gpu.charging.ChargeHook`; the warp/block/grid
+timing folds below are shared, so ``WarpCost``/``KernelCost`` are
+engine-independent by construction.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any
 
 from ..compiler.kernel_ir import KernelIR, VarClass, VarInfo
-from ..errors import CRuntimeError, GpuError, KVStoreOverflow
+from ..errors import GpuError, KVStoreOverflow
 from ..kvstore import GlobalKVStore, KVPair, Partitioner
-from ..kvstore.coerce import kv_text
 from ..minic import cast as A
 from ..minic import ctypes as T
 from ..minic.interpreter import ExecCounters, Interpreter
-from ..minic.stdlib import host_builtins
-from ..minic.values import Buffer, Cell, NULL, Ptr, ScalarRef
+from ..minic.values import Buffer, NULL, Ptr
+from .charging import ChargeHook, DEFAULT_CHARGE_HOOK, LaneCharges
 from .device import GpuDevice
+from .engine import (
+    CompiledLaneRunner,
+    LaneState,
+    _check_engine,
+    clone_buffer as _clone_buffer,
+    default_gpu_engine,
+    kernel_program,
+    make_combine_builtins,
+    make_map_builtins,
+    snapshot_value as _snapshot_value,
+)
 from .timing import KernelCost, TimingModel, WarpCost
 
 #: Extra issue slots charged per runtime-call dispatch (mapSetup etc.).
 _SETUP_INSTR = 24.0
-_MATH_CALL_INSTR = 8.0
 
 #: Smallest per-warp chunk in the combine kernel (see run_combine_kernel).
 _MIN_COMBINE_CHUNK = 32
 
 
-@dataclass
-class LaneCharges:
-    """Per-thread (lane) cost events; folded into WarpCost per warp."""
-
-    instructions: float = 0.0
-    global_txn: float = 0.0
-    shared_accesses: float = 0.0
-    shared_atomics: float = 0.0
-    global_atomics: float = 0.0
-    texture_accesses: float = 0.0
-
-
 class GpuInterpreter(Interpreter):
     """Interpreter specialization that charges memory accesses by the
-    target buffer's memory space."""
+    target buffer's memory space (tree lane engine)."""
 
-    def __init__(self, program: A.Program, builtins: dict, charges: LaneCharges):
+    def __init__(self, program: A.Program, builtins: dict,
+                 charges: LaneCharges,
+                 hook: ChargeHook = DEFAULT_CHARGE_HOOK):
         super().__init__(program, stdin="", builtins=builtins)
         self.charges = charges
-
-    def _charge_access(self, buffer: Buffer | None, is_store: bool) -> None:
-        """Per-element array accesses are throughput costs, not bare
-        latencies: loops over cached arrays pipeline, so most of the cost
-        lands in the issue domain (which divergence and load balance
-        modulate) with only the cache-miss fraction paying a transaction."""
-        space = getattr(buffer, "space", None)
-        if space == "texture":
-            # Dedicated on-chip texture cache: small tables stay resident.
-            self.charges.instructions += 2.0
-            self.charges.texture_accesses += 0.02
-        elif space == "global":
-            # Random global element reads miss far more often.
-            self.charges.instructions += 2.0
-            self.charges.global_txn += 0.08
-        elif space == "shared":
-            self.charges.shared_accesses += 1.0
-        else:  # private/local: register-speed
-            self.charges.instructions += 1.0
+        # An instance attribute, not a method: the same hook-bound closure
+        # shape the compiled engine's facade carries, so the mini-C
+        # compiled backend picks up charging uniformly from either.
+        self._charge_access = hook.bind_charges(charges)
 
     def _eval_Index(self, expr: A.Index) -> Any:
         ptr = self._as_ptr(self.eval(expr.base))
@@ -104,20 +96,6 @@ class GpuInterpreter(Interpreter):
 # --------------------------------------------------------------------------
 # Environment construction
 # --------------------------------------------------------------------------
-
-
-def _clone_buffer(buf: Buffer, space: str) -> Buffer:
-    copy = Buffer(buf.elem_type, buf.size, label=buf.label, space=space)
-    copy.data[:] = buf.data
-    return copy
-
-
-def _snapshot_value(snapshot: dict[str, Any], var: VarInfo) -> Any:
-    if var.name not in snapshot:
-        raise GpuError(
-            f"host snapshot missing firstprivate/sharedRO variable {var.name!r}"
-        )
-    return snapshot[var.name]
 
 
 def build_thread_env(
@@ -183,6 +161,87 @@ def prepare_shared_ro(kernel: KernelIR, snapshot: dict[str, Any]) -> dict[str, B
 
 
 # --------------------------------------------------------------------------
+# Lane engines
+# --------------------------------------------------------------------------
+
+
+class _TreeLaneRunner:
+    """Reference lane engine: one ``GpuInterpreter`` per lane, with the
+    thread environment rebuilt through scope dicts. Shares the builtin
+    factories (and thus the charge hook) with the compiled engine, so
+    only the execution mechanism differs."""
+
+    def __init__(
+        self,
+        device: GpuDevice,
+        kernel: KernelIR,
+        snapshot: dict[str, Any],
+        shared_ro: dict[str, Buffer],
+        store: GlobalKVStore | None = None,
+        partitioner: Partitioner | None = None,
+        hook: ChargeHook = DEFAULT_CHARGE_HOOK,
+    ):
+        self.device = device
+        self.kernel = kernel
+        self.snapshot = snapshot
+        self.shared_ro = shared_ro
+        self.store = store
+        self.partitioner = partitioner
+        self.hook = hook
+        self.program = kernel_program(kernel)
+
+    def _run_lane(self, state: LaneState,
+                  charges: LaneCharges) -> ExecCounters:
+        kernel = self.kernel
+        if kernel.is_mapper:
+            builtins = make_map_builtins(kernel, self.device, self.hook,
+                                         state, self.store, self.partitioner)
+        else:
+            builtins = make_combine_builtins(kernel, self.device, self.hook,
+                                             state)
+        interp = GpuInterpreter(self.program, builtins, charges,
+                                hook=self.hook)
+        build_thread_env(interp, kernel, self.snapshot, self.shared_ro)
+        try:
+            interp.exec_stmt(kernel.body)
+        finally:
+            interp.pop_scope()
+        return interp.counters
+
+    def run_map_lane(self, thread_records: list[bytes], global_tid: int,
+                     charges: LaneCharges) -> ExecCounters:
+        state = LaneState()
+        state.records = thread_records
+        state.charges = charges
+        state.global_tid = global_tid
+        return self._run_lane(state, charges)
+
+    def run_combine_chunk(
+        self, chunk: list[KVPair], charges: LaneCharges
+    ) -> tuple[ExecCounters, list[tuple[Any, Any]]]:
+        state = LaneState()
+        state.chunk = chunk
+        state.charges = charges
+        state.output = out = []
+        counters = self._run_lane(state, charges)
+        return counters, out
+
+
+def _make_lane_runner(
+    engine: str | None,
+    device: GpuDevice,
+    kernel: KernelIR,
+    snapshot: dict[str, Any],
+    shared_ro: dict[str, Buffer],
+    store: GlobalKVStore | None = None,
+    partitioner: Partitioner | None = None,
+):
+    name = _check_engine(engine if engine is not None else default_gpu_engine())
+    cls = CompiledLaneRunner if name == "compiled" else _TreeLaneRunner
+    return cls(device, kernel, snapshot, shared_ro, store, partitioner)
+
+
+# --------------------------------------------------------------------------
 # Map kernel execution
 # --------------------------------------------------------------------------
 
@@ -193,22 +252,6 @@ class MapLaunchResult:
     counters: ExecCounters = field(default_factory=ExecCounters)
     records_processed: int = 0
     steals: int = 0
-
-
-class _ThreadRecordFeed:
-    """getRecord data source for one thread: its assigned record list."""
-
-    def __init__(self, records: list[bytes], stealing: bool):
-        self.records = records
-        self.index = 0
-        self.stealing = stealing
-
-    def next(self) -> bytes | None:
-        if self.index >= len(self.records):
-            return None
-        rec = self.records[self.index]
-        self.index += 1
-        return rec
 
 
 def _assign_records_static(
@@ -270,6 +313,7 @@ def run_map_kernel_global_stealing(
     snapshot: dict[str, Any],
     store: GlobalKVStore,
     partitioner: Partitioner,
+    engine: str | None = None,
 ) -> MapLaunchResult:
     """The design the paper REJECTS (§4.1): one *global* record counter
     shared by every threadblock. Distribution is perfectly balanced
@@ -290,6 +334,8 @@ def run_map_kernel_global_stealing(
         kernel.kvpairs_per_record,
     )
     shared_ro = prepare_shared_ro(kernel, snapshot)
+    runner = _make_lane_runner(engine, device, kernel, snapshot, shared_ro,
+                               store, partitioner)
     warp = device.spec.warp_size
     result = MapLaunchResult()
     result.steals = steals
@@ -305,9 +351,8 @@ def run_map_kernel_global_stealing(
                 thread_records = lanes_all[base + lane]
                 charges = LaneCharges(instructions=_SETUP_INSTR)
                 if thread_records:
-                    counters = _run_map_thread(
-                        device, kernel, thread_records, snapshot, shared_ro,
-                        store, partitioner, base + lane, charges,
+                    counters = runner.run_map_lane(
+                        thread_records, base + lane, charges
                     )
                     # Swap the shared-atomic steal charges for global ones.
                     charges.global_atomics += charges.shared_atomics
@@ -351,6 +396,7 @@ def run_map_kernel(
     snapshot: dict[str, Any],
     store: GlobalKVStore,
     partitioner: Partitioner,
+    engine: str | None = None,
 ) -> MapLaunchResult:
     """Execute the map kernel over one fileSplit's records."""
     if not kernel.is_mapper:
@@ -359,6 +405,8 @@ def run_map_kernel(
     launch = kernel.launch
     warp = device.spec.warp_size
     shared_ro = prepare_shared_ro(kernel, snapshot)
+    runner = _make_lane_runner(engine, device, kernel, snapshot, shared_ro,
+                               store, partitioner)
 
     result = MapLaunchResult()
     block_cycles: list[float] = []
@@ -388,9 +436,8 @@ def run_map_kernel(
                 charges = LaneCharges(instructions=_SETUP_INSTR)
                 if thread_records:
                     any_active = True
-                    counters = _run_map_thread(
-                        device, kernel, thread_records, snapshot, shared_ro,
-                        store, partitioner, global_tid, charges,
+                    counters = runner.run_map_lane(
+                        thread_records, global_tid, charges
                     )
                     result.counters = result.counters.merged(counters)
                     result.records_processed += len(thread_records)
@@ -434,74 +481,6 @@ def run_map_kernel(
     return result
 
 
-def _run_map_thread(
-    device: GpuDevice,
-    kernel: KernelIR,
-    thread_records: list[bytes],
-    snapshot: dict[str, Any],
-    shared_ro: dict[str, Buffer],
-    store: GlobalKVStore,
-    partitioner: Partitioner,
-    global_tid: int,
-    charges: LaneCharges,
-) -> ExecCounters:
-    feed = _ThreadRecordFeed(thread_records, kernel.opt.record_stealing)
-    txn_bytes = device.spec.transaction_bytes
-    vec = max(kernel.vector_width, 1)
-
-    def bi_get_record(interp: Interpreter, args: list[Any]) -> int:
-        rec = feed.next()
-        if rec is None:
-            return -1
-        if kernel.opt.record_stealing:
-            charges.shared_atomics += 1.0
-        # The record is read from the device input buffer. Each lane's
-        # record is a *sequential* byte stream: hardware prefetching hides
-        # much of the latency, so part of the cost is issue-side work
-        # (byte handling) proportional to the record length — which is
-        # what record stealing balances.
-        # Latency component (amortized over many in-flight requests) plus
-        # DRAM-throughput cycles charged as issue-side work.
-        charges.global_txn += max(0.25, len(rec) / (8.0 * txn_bytes))
-        charges.instructions += len(rec) / 8.0 + len(rec) / 64.0
-        interp.counters.bytes_in += len(rec)
-        buf = Buffer.from_string(rec.decode("utf-8", errors="replace"))
-        buf.space = "private"
-        ref = args[0]
-        if not isinstance(ref, (ScalarRef, Ptr)):
-            raise CRuntimeError("getRecord needs &line")
-        ref.store(Ptr(buf, 0))
-        return len(rec)
-
-    def bi_emit_kv(interp: Interpreter, args: list[Any]) -> int:
-        if len(args) != 2:
-            raise CRuntimeError("emitKV(key, value)")
-        key = _extract_value(args[0])
-        value = _extract_value(args[1])
-        part = partitioner.partition(key)
-        store.emit(global_tid, key, value, part)
-        nbytes = kernel.key_length + kernel.value_length
-        interp.counters.bytes_out += nbytes
-        # Vectorized stores cut the issue count by the vector width; the
-        # per-thread store stream write-combines, so the latency component
-        # is amortized and shrinks up to 2x with wider accesses.
-        charges.instructions += nbytes / vec
-        charges.global_txn += max(0.25, nbytes / (16.0 * min(vec, 2)))
-        return nbytes
-
-    builtins = _gpu_common_builtins(charges, vec)
-    builtins["getRecord"] = bi_get_record
-    builtins["emitKV"] = bi_emit_kv
-
-    interp = GpuInterpreter(_kernel_program(kernel), builtins, charges)
-    build_thread_env(interp, kernel, snapshot, shared_ro)
-    try:
-        interp.exec_stmt(kernel.body)
-    finally:
-        interp.pop_scope()
-    return interp.counters
-
-
 # --------------------------------------------------------------------------
 # Combine kernel execution
 # --------------------------------------------------------------------------
@@ -520,6 +499,7 @@ def run_combine_kernel(
     kernel: KernelIR,
     partition_pairs: list[KVPair],
     snapshot: dict[str, Any],
+    engine: str | None = None,
 ) -> CombineLaunchResult:
     """Execute the combine kernel over one sorted partition.
 
@@ -539,6 +519,7 @@ def run_combine_kernel(
     n = len(partition_pairs)
     if n == 0:
         return result
+    runner = _make_lane_runner(engine, device, kernel, snapshot, shared_ro)
     # kvsPerThread = partition size / warp count, floored so tiny
     # partitions use few warps instead of one-pair chunks (launching a
     # full grid for a handful of pairs would only manufacture partials).
@@ -553,8 +534,7 @@ def run_combine_kernel(
     for chunk_id, chunk in enumerate(chunks):
         block_id = chunk_id // warps_per_block
         charges = LaneCharges(instructions=_SETUP_INSTR)
-        counters, out = _run_combine_warp(device, kernel, chunk, snapshot,
-                                          shared_ro, charges)
+        counters, out = runner.run_combine_chunk(chunk, charges)
         result.counters = result.counters.merged(counters)
         result.output.extend(out)
         wc = WarpCost(
@@ -575,183 +555,3 @@ def run_combine_kernel(
     result.cost.cycles = timing.grid_cycles(block_cycles)
     result.cost.seconds = device.cycles_to_seconds(result.cost.cycles)
     return result
-
-
-def _run_combine_warp(
-    device: GpuDevice,
-    kernel: KernelIR,
-    chunk: list[KVPair],
-    snapshot: dict[str, Any],
-    shared_ro: dict[str, Buffer],
-    charges: LaneCharges,
-) -> tuple[ExecCounters, list[tuple[Any, Any]]]:
-    index = 0
-    output: list[tuple[Any, Any]] = []
-    txn_bytes = device.spec.transaction_bytes
-    vec = max(kernel.vector_width, 1)
-    cooperative = vec > 1
-    kv_bytes = kernel.key_length + kernel.value_length
-
-    def _charge_kv_move() -> None:
-        if cooperative:
-            # Lane-per-element cooperative move: coalesced transactions.
-            charges.global_txn += max(1.0, kv_bytes / txn_bytes)
-            charges.instructions += max(1.0, kv_bytes / (4.0 * vec))
-        else:
-            # Single active lane, word-at-a-time (uncoalesced).
-            charges.global_txn += max(1.0, kv_bytes / 8.0)
-            charges.instructions += kv_bytes / 2.0
-
-    def bi_get_kv(interp: Interpreter, args: list[Any]) -> int:
-        nonlocal index
-        if index >= len(chunk):
-            return -1
-        pair = chunk[index]
-        index += 1
-        _charge_kv_move()
-        interp.counters.bytes_in += kv_bytes
-        key_ref, val_ref = args[0], args[1]
-        _store_kv_arg(key_ref, pair.key)
-        _store_kv_arg(val_ref, pair.value)
-        return 2
-
-    def bi_store_kv(interp: Interpreter, args: list[Any]) -> int:
-        key = _extract_value(args[0])
-        value = _extract_value(args[1])
-        output.append((key, value))
-        _charge_kv_move()
-        interp.counters.bytes_out += kv_bytes
-        return kv_bytes
-
-    builtins = _gpu_common_builtins(charges, vec)
-    builtins["getKV"] = bi_get_kv
-    builtins["storeKV"] = bi_store_kv
-
-    interp = GpuInterpreter(_kernel_program(kernel), builtins, charges)
-    build_thread_env(interp, kernel, snapshot, shared_ro)
-    try:
-        interp.exec_stmt(kernel.body)
-    finally:
-        interp.pop_scope()
-    return interp.counters, output
-
-
-# --------------------------------------------------------------------------
-# Shared helpers
-# --------------------------------------------------------------------------
-
-
-def _extract_value(arg: Any) -> Any:
-    """Convert an evaluated kernel argument to a plain Python KV datum."""
-    if isinstance(arg, Ptr):
-        return arg.c_string()
-    if isinstance(arg, Buffer):
-        return arg.c_string()
-    if isinstance(arg, ScalarRef):
-        return arg.deref()
-    return arg
-
-
-def _kv_number(text: str) -> int | float:
-    try:
-        return int(text)
-    except ValueError:
-        pass
-    try:
-        return float(text)
-    except ValueError:
-        raise CRuntimeError(
-            f"getKV: cannot read {text!r} into a numeric variable"
-        ) from None
-
-
-def _store_kv_arg(ref: Any, value: Any) -> None:
-    # getKV marshals off the shuffle's textual wire with scanf
-    # semantics: a char-array target reads the datum's text (%s) — an
-    # int key 42 arrives as "42", not as the char with code 42 — and a
-    # numeric target parses text back to a number (%d/%f).
-    if isinstance(ref, Ptr) and ref.buffer is not None and \
-            ref.buffer.elem_type == T.CHAR:
-        ref.buffer.store_string(ref.offset, kv_text(value))
-    elif isinstance(ref, (Ptr, ScalarRef)):
-        ref.store(_kv_number(value) if isinstance(value, str) else value)
-    else:
-        raise CRuntimeError(f"getKV target is not a pointer: {ref!r}")
-
-
-_MATH_FUNCS = frozenset(
-    ["sqrt", "sqrtf", "exp", "expf", "log", "logf", "log2", "pow", "powf",
-     "erf", "erff", "fabs", "fabsf", "floor", "ceil", "fmin", "fmax",
-     "sin", "sinf", "cos", "cosf", "tan", "atan"]
-)
-_STRING_FUNCS = frozenset(
-    ["strcmp", "strncmp", "strcpy", "strlen", "strcat", "strstr"]
-)
-
-
-def _gpu_common_builtins(charges: LaneCharges, vec: int) -> dict[str, Callable]:
-    """Device versions of the C library: same semantics as the host table,
-    plus cost charging. The runtime 'provides equivalent implementations'
-    of C standard functions the GPU lacks (paper §4.1)."""
-    base = host_builtins()
-    gpu: dict[str, Callable] = {}
-
-    def wrap_math(fn: Callable) -> Callable:
-        def impl(interp: Interpreter, args: list[Any]) -> Any:
-            charges.instructions += _MATH_CALL_INSTR
-            interp.counters.fp_ops += 4
-            return fn(interp, args)
-
-        return impl
-
-    def wrap_string(name: str, fn: Callable) -> Callable:
-        def impl(interp: Interpreter, args: list[Any]) -> Any:
-            # Vectorized string ops move char4 at a time (paper §4.1).
-            length = 0
-            for arg in args:
-                if isinstance(arg, Ptr) and arg.buffer is not None and \
-                        arg.buffer.elem_type == T.CHAR:
-                    length = max(length, len(arg.c_string()))
-            charges.instructions += max(1.0, length / max(vec, 1))
-            return fn(interp, args)
-
-        return impl
-
-    for name, fn in base.items():
-        if name in _MATH_FUNCS:
-            gpu[name] = wrap_math(fn)
-        elif name in _STRING_FUNCS:
-            gpu[name] = wrap_string(name, fn)
-        elif name in ("printf", "scanf", "getline"):
-            continue  # must have been rewritten by the translator
-        else:
-            gpu[name] = fn
-
-    def bi_unsupported(name: str) -> Callable:
-        def impl(interp: Interpreter, args: list[Any]) -> Any:
-            raise GpuError(
-                f"{name} survived translation into the GPU kernel; the "
-                "translator should have rewritten it"
-            )
-
-        return impl
-
-    for name in ("printf", "scanf", "getline"):
-        gpu[name] = bi_unsupported(name)
-    return gpu
-
-
-def _kernel_program(kernel: KernelIR) -> A.Program:
-    """A Program wrapper exposing the user's helper functions (anything
-    besides ``main``) so kernel bodies can call them — the paper's
-    translator emits ``__device__`` versions of such helpers.
-
-    One Program per kernel, cached on the KernelIR: a launch builds one
-    interpreter per simulated thread, and a stable Program identity is
-    what lets the compile/str-literal caches in :mod:`repro.minic.cache`
-    hit across threads and splits instead of re-walking the AST."""
-    program = kernel.__dict__.get("_cached_program")
-    if program is None:
-        program = A.Program(functions=kernel.helpers)
-        setattr(kernel, "_cached_program", program)
-    return program

@@ -22,7 +22,7 @@ from ..costmodel.io import IoModel
 from ..errors import HadoopError
 from ..gpu.device import GpuDevice
 from ..kvstore import Partitioner
-from ..kvstore.coerce import parse_kv_line
+from ..kvstore.coerce import kv_line, parse_kv_line, utf8_len
 from ..runtime.gpu_task import GpuTaskResult, GpuTaskRunner
 
 __all__ = ["LocalJobResult", "LocalJobRunner", "parse_kv_line"]
@@ -67,6 +67,9 @@ class LocalJobRunner:
     split_bytes:
         fileSplit size for input splitting (tests use small splits; the
         real 256 MB default would make functional runs needlessly slow).
+    gpu_engine:
+        GPU lane engine name (``"compiled"``/``"tree"``), or None for
+        the process default.
     """
 
     def __init__(
@@ -77,6 +80,7 @@ class LocalJobRunner:
         opt: OptimizationFlags | None = None,
         num_reducers: int | None = None,
         split_bytes: int = 64 * 1024,
+        gpu_engine: str | None = None,
     ):
         self.app = app
         self.cluster = cluster
@@ -88,8 +92,17 @@ class LocalJobRunner:
             num_reducers if num_reducers is not None else default_reducers
         )
         self.split_bytes = split_bytes
+        self.gpu_engine = gpu_engine
         self.io = IoModel.for_cluster(cluster)
         self.partitioner = Partitioner(max(self.num_reducers, 1))
+        if not use_gpu:
+            # Resolved once per job, not per task: the CPU cost model only
+            # needs the translated key length (translate_map is memoized,
+            # but CPU-only runs shouldn't touch the translator per split).
+            self._cpu_key_length = (
+                app.translate_map().map_kernel.key_length
+                if app.map_source else 16
+            )
 
     # -- input splitting ---------------------------------------------------------
 
@@ -122,17 +135,28 @@ class LocalJobRunner:
             num_reducers=self.num_reducers,
             replication=self.cluster.hdfs_replication,
             min_gpu_mem=self.app.min_gpu_mem,
+            engine=self.gpu_engine,
         )
 
-    def _run_gpu_map_task(self, split: bytes, runner: GpuTaskRunner,
-                          result: LocalJobResult) -> dict[int, list[tuple[Any, Any]]]:
+    # Map tasks return partition → [(key, value, line)] triples: ``line``
+    # is the pair's streaming rendering (kv_line), encoded exactly once
+    # per pair and reused for shuffle/output byte accounting and as
+    # reducer stdin.
+
+    def _run_gpu_map_task(
+        self, split: bytes, runner: GpuTaskRunner, result: LocalJobResult
+    ) -> dict[int, list[tuple[Any, Any, str]]]:
         task = runner.run(split)
         result.gpu_task_results.append(task)
         result.map_output_pairs += task.emitted_pairs
-        return task.partition_output
+        return {
+            part: [(k, v, kv_line(k, v)) for k, v in kvs]
+            for part, kvs in task.partition_output.items()
+        }
 
-    def _run_cpu_map_task(self, split: bytes,
-                          result: LocalJobResult) -> dict[int, list[tuple[Any, Any]]]:
+    def _run_cpu_map_task(
+        self, split: bytes, result: LocalJobResult
+    ) -> dict[int, list[tuple[Any, Any, str]]]:
         text = split.decode("utf-8", errors="replace")
         map_out, map_counters = self.app.cpu_map(text)
         pairs = [parse_kv_line(ln) for ln in map_out.splitlines() if ln]
@@ -142,35 +166,34 @@ class LocalJobRunner:
         parts: dict[int, list[tuple[Any, Any]]] = defaultdict(list)
         for k, v in pairs:
             parts[self.partitioner.partition(k)].append((k, v))
-        combined: dict[int, list[tuple[Any, Any]]] = {}
+        combined: dict[int, list[tuple[Any, Any, str]]] = {}
         combine_counters = None
+        output_bytes = 0
         for part, kvs in parts.items():
             kvs.sort(key=lambda kv: _sort_key(kv[0]))
             if self.app.has_combiner:
-                text_in = "".join(f"{k}\t{v}\n" for k, v in kvs)
+                text_in = "".join(kv_line(k, v) for k, v in kvs)
                 out, counters = self.app.cpu_combine(text_in)
                 combine_counters = counters if combine_counters is None \
                     else combine_counters.merged(counters)
-                combined[part] = [
-                    parse_kv_line(ln) for ln in out.splitlines() if ln
-                ]
+                triples = []
+                for ln in out.splitlines():
+                    if not ln:
+                        continue
+                    k, v = parse_kv_line(ln)
+                    triples.append((k, v, kv_line(k, v)))
+                combined[part] = triples
             else:
-                combined[part] = kvs
+                combined[part] = [(k, v, kv_line(k, v)) for k, v in kvs]
+            output_bytes += sum(utf8_len(t[2]) for t in combined[part])
 
-        output_bytes = sum(
-            len(f"{k}\t{v}\n".encode()) for kvs in combined.values() for k, v in kvs
-        )
         model = CpuTaskModel(self.cluster.cpu, self.io)
-        key_len = (
-            self.app.translate_map().map_kernel.key_length
-            if self.app.map_source else 16
-        )
         result.cpu_task_timings.append(
             model.task_timing(
                 split_bytes=len(split),
                 map_counters=map_counters,
                 map_kv_pairs=len(pairs),
-                key_length=key_len,
+                key_length=self._cpu_key_length,
                 combine_counters=combine_counters,
                 output_bytes=output_bytes,
                 map_only=self.app.map_only,
@@ -188,8 +211,10 @@ class LocalJobRunner:
         device = GpuDevice(self.cluster.gpu) if self.use_gpu else None
         gpu_runner = self._make_gpu_runner(device) if self.use_gpu else None
 
-        # Map phase → shuffle inputs grouped by reduce partition.
-        shuffle: dict[int, list[tuple[Any, Any]]] = defaultdict(list)
+        # Map phase → shuffle inputs grouped by reduce partition. Each
+        # entry carries its one-time streaming rendering (see the map
+        # task helpers), reused below instead of re-encoding.
+        shuffle: dict[int, list[tuple[Any, Any, str]]] = defaultdict(list)
         for split in splits:
             if self.use_gpu:
                 parts = self._run_gpu_map_task(split, gpu_runner, result)
@@ -197,9 +222,7 @@ class LocalJobRunner:
                 parts = self._run_cpu_map_task(split, result)
             for part, kvs in parts.items():
                 shuffle[part].extend(kvs)
-                result.shuffle_bytes += sum(
-                    len(f"{k}\t{v}\n".encode()) for k, v in kvs
-                )
+                result.shuffle_bytes += sum(utf8_len(t[2]) for t in kvs)
 
         # Reduce phase: merge-sort each partition, then apply the reduce
         # function — preferably the app's mini-C Streaming reducer
@@ -209,12 +232,12 @@ class LocalJobRunner:
         for part in sorted(shuffle):
             kvs = sorted(shuffle[part], key=lambda kv: _sort_key(kv[0]))
             if use_minic:
-                text_in = "".join(f"{k}\t{v}\n" for k, v in kvs)
+                text_in = "".join(t[2] for t in kvs)
                 out_text, _counters = self.app.cpu_reduce(text_in)
                 reduced = [parse_kv_line(ln) for ln in out_text.splitlines() if ln]
             else:
                 grouped: dict[Any, list[Any]] = defaultdict(list)
-                for k, v in kvs:
+                for k, v, _ln in kvs:
                     grouped[k].append(v)
                 reduced = [
                     pair

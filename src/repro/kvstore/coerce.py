@@ -64,6 +64,22 @@ def kv_text(datum: Any) -> str:
     return datum if isinstance(datum, str) else str(datum)
 
 
+def kv_line(key: Any, value: Any) -> str:
+    """Render one typed pair as its full streaming line (with newline).
+
+    This is the *one* encode of a pair per job: the local job runner
+    builds it when a map task's output materializes and reuses it for
+    shuffle/output byte accounting and as reducer stdin.
+    """
+    return f"{kv_text(key)}\t{kv_text(value)}\n"
+
+
+def utf8_len(text: str) -> int:
+    """Byte length of ``text`` on the UTF-8 wire without re-encoding
+    the (overwhelmingly ASCII) common case."""
+    return len(text) if text.isascii() else len(text.encode("utf-8"))
+
+
 def coerce_pair(key: Any, value: Any) -> tuple[Any, Any]:
     """Re-type an in-memory pair as if it had crossed the text wire.
 

@@ -48,8 +48,20 @@ class Partitioner:
         if num_partitions < 1:
             raise HadoopError("need at least one partition")
         self.num_partitions = num_partitions
+        # Text keys repeat heavily (every WC emit re-hashes one of a few
+        # hundred words), so their partitions are memoized. Only str keys:
+        # a mixed-type memo would conflate 0/False-style dict-equal keys
+        # whose key_bytes differ.
+        self._str_memo: dict[str, int] = {}
 
     def partition(self, key: Any) -> int:
-        if self.num_partitions == 1:
+        n = self.num_partitions
+        if n == 1:
             return 0
-        return fnv1a(_key_bytes(key)) % self.num_partitions
+        if key.__class__ is str:
+            part = self._str_memo.get(key)
+            if part is None:
+                part = fnv1a(key.encode("utf-8")) % n
+                self._str_memo[key] = part
+            return part
+        return fnv1a(_key_bytes(key)) % n

@@ -11,6 +11,11 @@ source. This module provides:
 * :func:`compiled_suite` — one compiled closure tree per (statement,
   program) pair, stashed on the statement node (the GPU kernel-body
   case: the same ``kernel.body`` node runs per thread per split);
+* :func:`compiled_kernel_body` — like :func:`compiled_suite` but keyed
+  on program + charge profile, for the GPU lane engine: a kernel body
+  compiles once per job (in practice once per process, since kernels
+  are themselves memoized) and every lane invocation is then a closure
+  call over a per-thread frame;
 * :func:`strlit_buffers` — the per-program string-literal Buffer table
   used by the tree-walking backend, so literals inside loops stop
   allocating a fresh Buffer per interpreter instance;
@@ -36,6 +41,7 @@ from .compile import CompiledProgram, CompiledSuite
 _ATTR_KEY = "_repro_cache_key"
 _ATTR_COMPILED = "_repro_compiled"
 _ATTR_SUITE = "_repro_compiled_suite"
+_ATTR_KERNEL_BODIES = "_repro_compiled_kernel_bodies"
 _ATTR_STRLITS = "_repro_strlit_buffers"
 
 #: source-hash key → CompiledProgram (or (program, CompiledProgram) for
@@ -81,6 +87,32 @@ def compiled_suite(program: A.Program, stmt: A.Stmt) -> CompiledSuite:
         return cached
     suite = CompiledSuite(stmt, cp)
     setattr(stmt, _ATTR_SUITE, suite)
+    return suite
+
+
+def compiled_kernel_body(program: A.Program, stmt: A.Stmt,
+                         profile_key: str,
+                         free_ctypes: dict | None = None) -> CompiledSuite:
+    """The compiled form of a GPU kernel body for direct lane execution,
+    cached per (statement, program, charge profile).
+
+    The profile dimension exists because a :class:`~repro.gpu.charging.
+    ChargeHook` defines which cost events a compiled body must surface;
+    bodies compiled under one profile must never be reused under
+    another. Today all profiles share one closure tree shape, so this is
+    a dict keyed by ``profile_key`` — cheap, and the invariant is
+    enforced structurally rather than by convention."""
+    cp = compiled_program(program)
+    cache = stmt.__dict__.get(_ATTR_KERNEL_BODIES)
+    if cache is None:
+        cache = {}
+        setattr(stmt, _ATTR_KERNEL_BODIES, cache)
+    suite = cache.get(profile_key)
+    if suite is None or suite.cp is not cp:
+        # free_ctypes derives deterministically from the kernel (and so
+        # from the program), so it does not need its own cache dimension.
+        suite = CompiledSuite(stmt, cp, free_ctypes)
+        cache[profile_key] = suite
     return suite
 
 

@@ -71,10 +71,12 @@ class Runtime:
     """Mutable per-execution state shared by all closures of one run.
 
     ``facade`` is the :class:`~repro.minic.interpreter.Interpreter`
-    whose builtins/streams/heap the compiled code must use — builtins
-    keep their ``fn(interp, args)`` signature unchanged. ``charge`` is
-    the GPU executor's ``_charge_access`` bound method when the facade
-    is a :class:`~repro.gpu.executor.GpuInterpreter`, else None.
+    (or the GPU engine's lean lane facade) whose builtins/streams/heap
+    the compiled code must use — builtins keep their ``fn(interp,
+    args)`` signature unchanged. ``charge`` is the facade's
+    ``_charge_access`` attribute when present — on the GPU that is a
+    closure bound from the launch's :class:`~repro.gpu.charging.
+    ChargeHook` — else None.
     """
 
     __slots__ = ("facade", "counters", "builtins", "globals", "charge",
@@ -386,6 +388,19 @@ class _FunctionCompiler:
         self.scopes: list[dict[str, int]] = []
         self.nslots = 0
         self.free: dict[str, int] = {}
+        # Declared ctype per local slot (non-array decls only). A
+        # declared cell's value class is an invariant — every store path
+        # coerces through the declared ctype and expression values never
+        # hold raw Buffers — so ident/assign/incdec closures compiled
+        # against a recorded slot skip the Buffer-decay check and the
+        # per-store ctype dispatch. Free slots (kernel snapshot globals)
+        # are absent here and keep the generic closures.
+        self.slot_ctype: dict[int, T.CType] = {}
+        # Caller-supplied declared ctypes for free names (kernel suites:
+        # the KernelIR's variable table). A free slot whose runtime cell
+        # is guaranteed to carry this ctype gets the same specialized
+        # closures as a local declaration.
+        self.free_ctypes: dict[str, T.CType] = {}
 
     # -- slots -----------------------------------------------------------
 
@@ -407,6 +422,9 @@ class _FunctionCompiler:
         if slot is None:
             slot = self._new_slot()
             self.free[name] = slot
+            ct = self.free_ctypes.get(name)
+            if ct is not None:
+                self.slot_ctype[slot] = ct
         return slot
 
     # -- statements ------------------------------------------------------
@@ -510,6 +528,7 @@ class _FunctionCompiler:
             # matching the tree-walker's execution-order declare.
             slot = self.declare(decl.name)
             ctype = decl.ctype
+            self.slot_ctype[slot] = ctype
             if isinstance(ctype, T.Array):
                 if isinstance(ctype.base, T.Array) and \
                         isinstance(ctype.base.base, T.Array):
@@ -818,6 +837,25 @@ class _FunctionCompiler:
     def _expr_Ident(self, expr: A.Ident) -> tuple[Callable, _Counts]:
         slot = self.slot_for(expr.name)
         name = expr.name
+        decl_ct = self.slot_ctype.get(slot)
+        if decl_ct is not None:
+            if isinstance(decl_ct, T.Array):
+                def ident_array(rt: Runtime, frame: list) -> Any:
+                    cell = frame[slot]
+                    if cell is None:
+                        raise CRuntimeError(
+                            f"undeclared identifier {name!r}")
+                    return cell.value.decay_ptr()
+
+                return ident_array, _Counts()
+
+            def ident_scalar(rt: Runtime, frame: list) -> Any:
+                cell = frame[slot]
+                if cell is None:
+                    raise CRuntimeError(f"undeclared identifier {name!r}")
+                return cell.value
+
+            return ident_scalar, _Counts()
 
         def ident(rt: Runtime, frame: list) -> Any:
             cell = frame[slot]
@@ -993,6 +1031,20 @@ class _FunctionCompiler:
         returned exactly as the tree-walker's ref.store/return order
         produces it."""
         slot = self.slot_for(name)
+        decl_ct = self.slot_ctype.get(slot)
+        if decl_ct is T.INT or decl_ct is T.LONG or decl_ct is T.SIZE_T:
+            # An int-declared cell holds an exact int (every store path
+            # coerces), so held + delta is already the stored value.
+            def incdec_int(rt: Runtime, frame: list) -> Any:
+                cell = frame[slot]
+                if cell is None:
+                    raise CRuntimeError(f"undeclared identifier {name!r}")
+                held = cell.value
+                new = held + delta
+                cell.value = new
+                return None if void else (held if post else new)
+
+            return incdec_int
 
         def incdec(rt: Runtime, frame: list) -> Any:
             cell = frame[slot]
@@ -1054,6 +1106,49 @@ class _FunctionCompiler:
             name = expr.target.name
             value_fn, cnt = self.compile_expr(expr.value)
             cnt.stores += 1
+            decl_ct = self.slot_ctype.get(slot)
+            coerce = None
+            if decl_ct is T.INT or decl_ct is T.LONG or decl_ct is T.SIZE_T:
+                coerce = int
+            elif decl_ct is T.FLOAT or decl_ct is T.DOUBLE:
+                coerce = float
+            if coerce is not None:
+                if expr.op == "=":
+                    def assign_decl_ident(rt: Runtime, frame: list) -> Any:
+                        cell = frame[slot]
+                        if cell is None:
+                            raise CRuntimeError(
+                                f"undeclared identifier {name!r}")
+                        value = value_fn(rt, frame)
+                        if value.__class__ is not coerce:
+                            value = coerce(value)
+                        cell.value = value
+                        charge = rt.charge
+                        if charge is not None:
+                            charge(None, True)
+                        return None if void else value
+
+                    return assign_decl_ident, cnt
+                binop = _binop_fn(expr.op[:-1])
+                cnt.ops += 1
+
+                def compound_decl_ident(rt: Runtime, frame: list) -> Any:
+                    cell = frame[slot]
+                    if cell is None:
+                        raise CRuntimeError(
+                            f"undeclared identifier {name!r}")
+                    value = value_fn(rt, frame)
+                    # cell.value read after the rhs (tree-walker order).
+                    new = binop(rt, cell.value, value)
+                    if new.__class__ is not coerce:
+                        new = coerce(new)
+                    cell.value = new
+                    charge = rt.charge
+                    if charge is not None:
+                        charge(None, True)
+                    return None if void else new
+
+                return compound_decl_ident, cnt
             if expr.op == "=":
                 def assign_ident(rt: Runtime, frame: list) -> Any:
                     cell = frame[slot]
@@ -1220,6 +1315,16 @@ class _FunctionCompiler:
         if isinstance(expr, A.Ident):
             slot = self.slot_for(expr.name)
             name = expr.name
+            decl_ct = self.slot_ctype.get(slot)
+            if decl_ct is not None and not isinstance(decl_ct, T.Array):
+                def lv_scalar(rt: Runtime, frame: list) -> ScalarRef:
+                    cell = frame[slot]
+                    if cell is None:
+                        raise CRuntimeError(
+                            f"undeclared identifier {name!r}")
+                    return ScalarRef(cell)
+
+                return lv_scalar, _Counts()
 
             def lv_ident(rt: Runtime, frame: list) -> Ptr | ScalarRef:
                 cell = frame[slot]
@@ -1361,16 +1466,38 @@ class CompiledProgram:
 
 class CompiledSuite:
     """One statement compiled against a live facade environment — used
-    for GPU kernel bodies, where ``build_thread_env`` has populated the
-    facade's scopes before ``exec_stmt(kernel.body)``."""
+    for GPU kernel bodies. Two entry points:
 
-    def __init__(self, stmt: A.Stmt, cp: CompiledProgram):
+    * :meth:`execute` binds free variables by walking the facade's scope
+      chain (the tree engine path, where ``build_thread_env`` has
+      populated the scopes before ``exec_stmt(kernel.body)``);
+    * :meth:`execute_with_frame` takes a caller-built frame, letting the
+      GPU lane engine bind kernel variables straight into slots from a
+      precomputed per-launch plan — no scope dicts, no per-name lookup.
+
+    ``nslots``/``frees`` expose the frame layout the plan needs.
+    """
+
+    def __init__(self, stmt: A.Stmt, cp: CompiledProgram,
+                 free_ctypes: dict[str, T.CType] | None = None):
         comp = _FunctionCompiler(cp)
+        if free_ctypes:
+            comp.free_ctypes = free_ctypes
         comp.scopes.append({})
         self._body_fn = comp._flushed_stmt(stmt)
         self._nslots = comp.nslots
         self._frees = tuple(comp.free.items())
         self.cp = cp
+
+    @property
+    def nslots(self) -> int:
+        """Frame length :meth:`execute_with_frame` expects."""
+        return self._nslots
+
+    @property
+    def frees(self) -> tuple[tuple[str, int], ...]:
+        """(name, slot) pairs of the suite's free variables."""
+        return self._frees
 
     def execute(self, facade: Any) -> None:
         rt = self.cp.runtime(facade)
@@ -1381,6 +1508,17 @@ class CompiledSuite:
                 frame[slot] = lookup(name)
             except CRuntimeError:
                 frame[slot] = None  # raises lazily if actually accessed
+        try:
+            self._body_fn(rt, frame)
+        finally:
+            facade._steps = rt.steps
+        return None
+
+    def execute_with_frame(self, facade: Any, frame: list) -> None:
+        """Run the compiled body against a caller-built frame. Unbound
+        frees must be left as None slots (they raise the tree-walker's
+        'undeclared identifier' error lazily, on first access)."""
+        rt = self.cp.runtime(facade)
         try:
             self._body_fn(rt, frame)
         finally:

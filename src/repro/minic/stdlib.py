@@ -483,6 +483,8 @@ def _bi_free(interp: "Interpreter", args: list[Any]) -> int:
         if ptr.buffer.freed:
             raise CRuntimeError("double free")
         ptr.buffer.freed = True
+        # c_string trusts a warm decode cache without re-checking freed.
+        ptr.buffer._strcache = None
     return 0
 
 

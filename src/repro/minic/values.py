@@ -133,17 +133,22 @@ class Buffer:
 
         Decodes are memoized per offset until the next char write —
         printf re-reads its format-string buffer once per emitted KV
-        pair, and string literals are never written at all."""
-        if self._wkind != Buffer._W_CHAR:
-            raise CRuntimeError("c_string on non-char buffer")
-        if self.size and (self.freed or not 0 <= start < self.size):
-            self._check(start)
+        pair, and string literals are never written at all.
+
+        The cache is consulted before any validity check: a warm entry
+        proves the buffer is char-typed, live, and the offset in bounds
+        (entries only form after the checks pass, writes and resize
+        invalidate, and free() drops the cache entirely)."""
         cache = self._strcache
         if cache is not None:
             text = cache.get(start)
             if text is not None:
                 return text
-        else:
+        if self._wkind != Buffer._W_CHAR:
+            raise CRuntimeError("c_string on non-char buffer")
+        if self.size and (self.freed or not 0 <= start < self.size):
+            self._check(start)
+        if cache is None:
             cache = self._strcache = {}
         end = self.data.find(b"\0", start)
         if end == -1:
@@ -154,6 +159,15 @@ class Buffer:
 
     def store_string(self, start: int, text: str) -> int:
         """Store ``text`` + NUL at ``start``; returns bytes written (excl NUL)."""
+        # Sorted KV streams store the same key into the same buffer for
+        # every pair of a run; when the decode cache proves the buffer
+        # already holds exactly ``text`` + NUL there, the store is a no-op
+        # (ASCII only — its decode/encode round trip is bijective).
+        cache = self._strcache
+        if (cache is not None and cache.get(start) == text and text.isascii()
+                and start + len(text) < self.size
+                and self.data[start + len(text)] == 0):
+            return len(text)
         raw = text.encode("utf-8", errors="replace")
         needed = start + len(raw) + 1
         if needed > self.size:

@@ -127,6 +127,9 @@ class GpuTaskRunner:
     min_gpu_mem:
         Application working-set floor; allocation fails if the device is
         smaller (this is what excludes KM from Cluster2 in Fig. 4b).
+    engine:
+        GPU lane engine name (``"compiled"``/``"tree"``), or None for the
+        process default (:func:`repro.gpu.engine.default_gpu_engine`).
     """
 
     def __init__(
@@ -138,6 +141,7 @@ class GpuTaskRunner:
         num_reducers: int,
         replication: int = 3,
         min_gpu_mem: int = 0,
+        engine: str | None = None,
     ):
         if map_translation.map_kernel is None:
             raise GpuError("map translation lacks a mapper kernel")
@@ -151,6 +155,7 @@ class GpuTaskRunner:
         self.num_reducers = num_reducers
         self.replication = replication
         self.min_gpu_mem = min_gpu_mem
+        self.engine = engine
         self.map_only = num_reducers == 0
         self._map_snapshot: dict[str, Any] | None = None
         self._combine_snapshot: dict[str, Any] | None = None
@@ -249,7 +254,7 @@ class GpuTaskRunner:
             # 4. Map kernel.
             map_launch = run_map_kernel(
                 device, kernel, locator.records, self.map_snapshot(),
-                store, partitioner,
+                store, partitioner, engine=self.engine,
             )
             result.map_launch = map_launch
             result.emitted_pairs = store.emitted_pairs
@@ -297,7 +302,8 @@ class GpuTaskRunner:
                 assert ck is not None
                 snapshot = self.combine_snapshot()
                 for part, pairs in sorted_partitions.items():
-                    launch = run_combine_kernel(device, ck, pairs, snapshot)
+                    launch = run_combine_kernel(device, ck, pairs, snapshot,
+                                                engine=self.engine)
                     output[part] = [coerce_pair(k, v)
                                     for k, v in launch.output]
                     bd.combine += launch.cost.seconds

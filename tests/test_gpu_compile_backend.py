@@ -1,0 +1,258 @@
+"""Differential tests: compiled GPU lane engine vs the tree-walker.
+
+The compiled lane engine replays kernel bodies as closure calls but
+must stay *indistinguishable* from the tree-walking reference at every
+observable boundary: final job output, simulated per-task seconds,
+map-launch ``ExecCounters``, and the full per-warp ``KernelCost`` fold.
+The tree reference itself runs under both mini-C backends (bodies
+interpreted vs compiled), so three configurations triangulate every
+app. Charging flows through the pluggable :class:`ChargeHook` in both
+engines — one formula source, so agreement here proves the hook wiring,
+not formula duplication.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import all_apps, get_app
+from repro.config import CLUSTER1
+from repro.fuzz import load_corpus, run_case
+from repro.gpu import (
+    DEFAULT_CHARGE_HOOK,
+    GPU_ENGINES,
+    SpaceChargeHook,
+    default_gpu_engine,
+    set_default_gpu_engine,
+    use_gpu_engine,
+)
+from repro.gpu.device import GpuDevice
+from repro.gpu.executor import (
+    run_combine_kernel,
+    run_map_kernel,
+    run_map_kernel_global_stealing,
+)
+from repro.hadoop.local import LocalJobRunner, parse_kv_line
+from repro.kvstore import GlobalKVStore, KVPair, Partitioner
+from repro.minic.interpreter import Interpreter, use_backend
+
+APP_TAGS = [app.short for app in all_apps()]
+COMBINER_TAGS = [app.short for app in all_apps() if app.has_combiner]
+
+
+# -- engine selection API ---------------------------------------------------
+
+
+class TestEngineSelection:
+    def test_compiled_is_the_default(self):
+        assert default_gpu_engine() == "compiled"
+        assert GPU_ENGINES == ("compiled", "tree")
+
+    def test_set_default_returns_previous(self):
+        prev = set_default_gpu_engine("tree")
+        try:
+            assert prev == "compiled"
+            assert default_gpu_engine() == "tree"
+        finally:
+            set_default_gpu_engine(prev)
+        assert default_gpu_engine() == "compiled"
+
+    def test_context_manager_restores(self):
+        with use_gpu_engine("tree"):
+            assert default_gpu_engine() == "tree"
+            with use_gpu_engine("compiled"):
+                assert default_gpu_engine() == "compiled"
+            assert default_gpu_engine() == "tree"
+        assert default_gpu_engine() == "compiled"
+
+    @pytest.mark.parametrize("bad", ["interp", "TREE", ""])
+    def test_unknown_engine_rejected(self, bad):
+        with pytest.raises(ValueError, match="unknown GPU engine"):
+            set_default_gpu_engine(bad)
+        with pytest.raises(ValueError, match="unknown GPU engine"):
+            with use_gpu_engine(bad):
+                pass  # pragma: no cover
+
+    def test_default_charge_hook_is_calibrated_profile(self):
+        assert isinstance(DEFAULT_CHARGE_HOOK, SpaceChargeHook)
+        assert DEFAULT_CHARGE_HOOK.profile_key == "space-v1"
+
+
+# -- all eight apps, full GPU jobs ------------------------------------------
+
+
+def _gpu_job(app, text, engine, backend):
+    runner = LocalJobRunner(app, use_gpu=True, split_bytes=16 * 1024)
+    with use_gpu_engine(engine), use_backend(backend):
+        return runner.run(text)
+
+
+def _assert_launches_identical(tag, ref, other):
+    assert other.output == ref.output
+    assert ([r.seconds for r in other.gpu_task_results]
+            == [r.seconds for r in ref.gpu_task_results]), tag
+    for i, (a, b) in enumerate(zip(ref.gpu_task_results,
+                                   other.gpu_task_results)):
+        assert b.map_launch.counters == a.map_launch.counters, (tag, i)
+        assert b.map_launch.cost == a.map_launch.cost, (tag, i)
+        assert b.partition_output == a.partition_output, (tag, i)
+        assert b.output_bytes == a.output_bytes, (tag, i)
+
+
+class TestAllAppsEngineParity:
+    """Every app: tree/tree vs tree/compiled vs compiled lane engine."""
+
+    @pytest.mark.parametrize("tag", APP_TAGS)
+    def test_three_configurations_agree(self, tag):
+        app = get_app(tag)
+        text = app.generate(90, seed=11)
+        tree_tree = _gpu_job(app, text, "tree", "tree")
+        tree_comp = _gpu_job(app, text, "tree", "compiled")
+        compiled = _gpu_job(app, text, "compiled", "compiled")
+        _assert_launches_identical(tag, tree_tree, tree_comp)
+        _assert_launches_identical(tag, tree_tree, compiled)
+
+    @pytest.mark.parametrize("tag", ["WC", "KM"])
+    def test_runner_engine_kwarg_overrides_default(self, tag):
+        app = get_app(tag)
+        text = app.generate(60, seed=3)
+        by_kwarg = LocalJobRunner(app, use_gpu=True, split_bytes=16 * 1024,
+                                  gpu_engine="tree").run(text)
+        by_default = _gpu_job(app, text, "tree", "compiled")
+        _assert_launches_identical(tag, by_default, by_kwarg)
+
+
+# -- standalone combine kernels ---------------------------------------------
+
+
+def _combine_inputs(app, n=70, seed=9):
+    out, _ = app.cpu_map(app.generate(n, seed=seed))
+    pairs = [KVPair(*parse_kv_line(ln), 0)
+             for ln in sorted(out.splitlines()) if ln]
+    tr = app.translate_combine()
+    kernel = tr.combine_kernel
+    snapshot = Interpreter(tr.program, stdin="").run_until_region(
+        kernel.original_region)
+    return kernel, pairs, snapshot
+
+
+class TestCombineKernelEngines:
+    @pytest.mark.parametrize("tag", COMBINER_TAGS)
+    def test_combine_launch_identical(self, tag):
+        kernel, pairs, snapshot = _combine_inputs(get_app(tag))
+        assert pairs, f"{tag}: map produced no pairs"
+        device = GpuDevice(CLUSTER1.gpu)
+        tree = run_combine_kernel(device, kernel, pairs, snapshot,
+                                  engine="tree")
+        comp = run_combine_kernel(device, kernel, pairs, snapshot,
+                                  engine="compiled")
+        assert comp.output == tree.output
+        assert comp.counters == tree.counters
+        assert comp.cost == tree.cost
+
+    def test_empty_partition_identical(self):
+        kernel, _pairs, snapshot = _combine_inputs(get_app("WC"))
+        device = GpuDevice(CLUSTER1.gpu)
+        tree = run_combine_kernel(device, kernel, [], snapshot, engine="tree")
+        comp = run_combine_kernel(device, kernel, [], snapshot,
+                                  engine="compiled")
+        assert comp.output == tree.output == []
+        assert comp.cost == tree.cost
+
+
+# -- map kernels, both record-distribution variants -------------------------
+
+
+def _map_inputs(app, n=90, seed=11):
+    tr = app.translate_map()
+    kernel = tr.map_kernel
+    snapshot = Interpreter(tr.program, stdin="").run_until_region(
+        kernel.original_region)
+    records = [ln.encode("utf-8") + b"\n"
+               for ln in app.generate(n, seed=seed).splitlines()]
+    return kernel, records, snapshot
+
+
+def _fresh_store(kernel):
+    return GlobalKVStore(kernel.launch.total_threads,
+                         kernel.launch.total_threads * 64,
+                         kernel.key_length, kernel.value_length)
+
+
+def _store_pairs(store):
+    return sorted((t, p.key, p.value, p.partition)
+                  for t, p in store.iter_pairs())
+
+
+class TestMapKernelEngines:
+    @pytest.mark.parametrize("variant", ["stealing", "global"])
+    def test_map_launch_identical(self, variant):
+        kernel, records, snapshot = _map_inputs(get_app("WC"))
+        device = GpuDevice(CLUSTER1.gpu)
+        run = (run_map_kernel if variant == "stealing"
+               else run_map_kernel_global_stealing)
+        stores = {e: _fresh_store(kernel) for e in GPU_ENGINES}
+        launches = {
+            e: run(device, kernel, records, snapshot, stores[e],
+                   Partitioner(4), engine=e)
+            for e in GPU_ENGINES
+        }
+        tree, comp = launches["tree"], launches["compiled"]
+        assert comp.records_processed == tree.records_processed == len(records)
+        assert comp.counters == tree.counters
+        assert comp.cost == tree.cost
+        assert _store_pairs(stores["compiled"]) == _store_pairs(stores["tree"])
+
+
+# -- fuzz corpus through the four-engine oracle -----------------------------
+
+
+CORPUS = load_corpus()
+
+
+class TestCorpusUnderBothDefaults:
+    """run_case pins each engine explicitly, so corpus conformance must
+    not depend on the ambient default engine."""
+
+    @pytest.mark.parametrize("case", CORPUS, ids=[c.name for c in CORPUS])
+    def test_corpus_conforms_with_tree_default(self, case):
+        with use_gpu_engine("tree"):
+            divergence = run_case(case)
+        assert divergence is None, divergence.report()
+
+
+# -- GPU bench harness ------------------------------------------------------
+
+
+class TestGpuBenchHarness:
+    def test_bench_gpu_app_report(self):
+        from repro.bench import bench_gpu_app, check_min_speedup
+
+        row = bench_gpu_app("WC", records=40, repeat=1)
+        assert row["app"] == "WC"
+        assert row["records"] == 40
+        assert row["output_keys"] > 0
+        assert row["simulated_map_seconds"] > 0
+        assert row["speedup"] is not None
+        report = {"results": [row]}
+        assert check_min_speedup(report, 0.0) == []
+        assert check_min_speedup(report, 1e9) == ["WC"]
+
+    def test_bench_cli_gpu_path(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "bench_gpu.json"
+        rc = main(["bench", "--path", "gpu", "--apps", "WC", "--records",
+                   "40", "--repeat", "1", "--out", str(out)])
+        assert rc == 0
+        assert out.exists()
+        assert "WC" in capsys.readouterr().out
+
+    def test_bench_cli_out_requires_single_path(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rc = main(["bench", "--path", "all", "--apps", "WC", "--records",
+                   "40", "--repeat", "1",
+                   "--out", str(tmp_path / "nope.json")])
+        assert rc == 1
+        assert "single --path" in capsys.readouterr().err
