@@ -221,3 +221,30 @@ def check_min_speedup(report: dict[str, Any], minimum: float) -> list[str]:
         for r in report["results"]
         if r["speedup"] is None or r["speedup"] < minimum
     ]
+
+
+def check_against_baseline(report: dict[str, Any], baseline_path: str,
+                           tolerance: float = 0.05) -> list[str]:
+    """Apps whose speedup drifted beyond ``tolerance`` (relative) from a
+    committed baseline report.
+
+    This is the tracing-overhead guard: benches run with the recorder
+    disabled, so the compiled-over-tree speedup ratio must stay within
+    a few percent of the committed ``BENCH_gpu.json`` — a regression
+    here means instrumentation leaked cost into the disabled path. The
+    ratio is used (not absolute seconds) because both engines run on
+    the same host, which cancels machine speed out.
+    """
+    with open(baseline_path, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    expected = {r["app"]: r.get("speedup") for r in baseline.get("results", [])}
+    drifted = []
+    for r in report["results"]:
+        ref = expected.get(r["app"])
+        if ref is None or r["speedup"] is None:
+            continue
+        if abs(r["speedup"] - ref) > tolerance * ref:
+            drifted.append(
+                f"{r['app']} ({r['speedup']}x vs baseline {ref}x)"
+            )
+    return drifted

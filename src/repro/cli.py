@@ -5,6 +5,8 @@
     python -m repro translate mymap.c          # show the generated kernel
     python -m repro run WC --records 800       # run a job on both paths
     python -m repro simulate BS --policy tail  # cluster-scale simulation
+    python -m repro trace WC -o wc.json        # Chrome trace of a job
+    python -m repro stats WC --mode simulate   # span/counter totals
     python -m repro experiment fig5            # regenerate a paper figure
     python -m repro apps                       # list the Table 2 benchmarks
 """
@@ -77,30 +79,47 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_simulate(args: argparse.Namespace) -> int:
-    from .experiments.calibrate import single_task_times
-    from .hadoop import ClusterSimulator, JobConf
-    from .scheduling import CpuOnlyPolicy, GpuFirstPolicy, TailPolicy
+def _sim_job_conf(app, cluster, task_scale: float):
+    """The JobConf the ``simulate``/``trace``/``stats`` commands share.
 
-    app = get_app(args.app)
-    cluster = (CLUSTER1 if args.cluster == 1 else CLUSTER2)
-    cluster = cluster.with_gpus(args.gpus)
+    Built *before* any recorder is installed, so the calibration run
+    feeding the task durations never leaks into a recorded trace."""
+    from .experiments.calibrate import single_task_times
+    from .hadoop import JobConf
+
     times = single_task_times(app, cluster)
     cpu_s, gpu_s = times.scaled(60.0)
     figures = app.figures_for(cluster.name)
     job = JobConf(
         name=app.short,
-        num_map_tasks=max(1, int(figures.map_tasks * args.task_scale)),
+        num_map_tasks=max(1, int(figures.map_tasks * task_scale)),
         num_reduce_tasks=figures.reduce_tasks,
         cluster=cluster,
         cpu_task_seconds=cpu_s,
         gpu_task_seconds=gpu_s,
     )
-    policies = {
+    return job, times
+
+
+def _policies() -> dict:
+    from .scheduling import CpuOnlyPolicy, GpuFirstPolicy, TailPolicy
+
+    return {
         "cpu-only": CpuOnlyPolicy,
         "gpu-first": GpuFirstPolicy,
         "tail": TailPolicy,
     }
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .hadoop import ClusterSimulator
+    from .scheduling import CpuOnlyPolicy
+
+    app = get_app(args.app)
+    cluster = (CLUSTER1 if args.cluster == 1 else CLUSTER2)
+    cluster = cluster.with_gpus(args.gpus)
+    job, times = _sim_job_conf(app, cluster, args.task_scale)
+    policies = _policies()
     base = ClusterSimulator(job, CpuOnlyPolicy()).run()
     print(f"{app.short} on {cluster.name} ({args.gpus} GPU/node), "
           f"{job.num_map_tasks} maps, single-task speedup "
@@ -110,6 +129,80 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print(f"  {name:10s}: {result.job_seconds:8.1f} s "
               f"({base.job_seconds / result.job_seconds:.2f}x), "
               f"gpu tasks {result.gpu_tasks}, forced {result.forced_gpu_tasks}")
+    return 0
+
+
+def _traced_run(args: argparse.Namespace):
+    """Run one job with tracing on; returns the filled TraceRecorder.
+
+    Everything nondeterministic-or-cached (input generation, kernel
+    translation, calibration) happens before the recorder is installed,
+    so identical invocations record identical traces.
+    """
+    from . import obs
+
+    app = get_app(args.app)
+    cluster = CLUSTER1 if args.cluster == 1 else CLUSTER2
+    recorder = obs.TraceRecorder()
+    if args.mode == "simulate":
+        from .hadoop import ClusterSimulator
+
+        cluster = cluster.with_gpus(args.gpus)
+        job, _times = _sim_job_conf(app, cluster, args.task_scale)
+        policy = _policies()[args.policy]()
+        with obs.use_recorder(recorder):
+            ClusterSimulator(job, policy).run()
+    else:
+        from .hadoop.local import LocalJobRunner
+
+        text = app.generate(args.records, seed=args.seed)
+        runner = LocalJobRunner(
+            app, cluster=cluster, use_gpu=not args.cpu_only,
+            split_bytes=args.split_kb * 1024,
+        )
+        with obs.use_recorder(recorder):
+            runner.run(text)
+    return recorder
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from . import obs
+
+    recorder = _traced_run(args)
+    trace = obs.export_chrome(recorder)
+    obs.check_trace(trace)
+    payload = obs.dumps(trace)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(payload)
+        events = len(recorder.events)
+        print(f"wrote {args.out} ({events} events); "
+              "load it at chrome://tracing or https://ui.perfetto.dev",
+              file=sys.stderr)
+    else:
+        sys.stdout.write(payload)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    recorder = _traced_run(args)
+    snapshot = recorder.metrics.snapshot()
+    by_cat: dict[str, tuple[int, float]] = {}
+    for span in recorder.spans():
+        count, seconds = by_cat.get(span.cat, (0, 0.0))
+        by_cat[span.cat] = (count + 1, seconds + (span.dur or 0.0))
+    print(f"{args.app} ({args.mode} mode)")
+    print("spans by category:")
+    for cat in sorted(by_cat):
+        count, seconds = by_cat[cat]
+        print(f"  {cat:14s} {count:6d} spans  {seconds:12.6f} simulated s")
+    print("counters:")
+    for name, value in snapshot["counters"].items():
+        print(f"  {name:28s} {value:14.1f}")
+    if snapshot["gauges"]:
+        print("gauges:")
+        for name, value in snapshot["gauges"].items():
+            print(f"  {name:28s} {value:14.4f}")
     return 0
 
 
@@ -148,6 +241,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 print(f"error: {path} path below --min-speedup "
                       f"{args.min_speedup}: {', '.join(slow)}",
                       file=sys.stderr)
+                rc = 1
+        if args.baseline is not None:
+            drifted = bench.check_against_baseline(report, args.baseline,
+                                                   args.tolerance)
+            if drifted:
+                print(f"error: {path} path drifted beyond "
+                      f"{args.tolerance:.0%} of {args.baseline}: "
+                      f"{', '.join(drifted)}", file=sys.stderr)
                 rc = 1
     if args.json:
         payload = reports[paths[0]] if len(paths) == 1 else reports
@@ -253,6 +354,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--task-scale", type=float, default=1.0)
     p.set_defaults(func=_cmd_simulate)
 
+    trace_help = {
+        "trace": ("run a job with tracing on and emit a Chrome trace-event "
+                  "JSON (view at chrome://tracing or ui.perfetto.dev)"),
+        "stats": "run a job with tracing on and print span/metric totals",
+    }
+    for cmd, func in (("trace", _cmd_trace), ("stats", _cmd_stats)):
+        p = sub.add_parser(cmd, help=trace_help[cmd])
+        p.add_argument("app", help="benchmark tag (GR HS WC HR LR KM CL BS)")
+        p.add_argument("--mode", choices=("local", "simulate"),
+                       default="local",
+                       help="local: functional job on this process; "
+                            "simulate: cluster-scale discrete-event run")
+        p.add_argument("--cluster", type=int, choices=(1, 2), default=1)
+        p.add_argument("--records", type=int, default=400,
+                       help="input records (local mode)")
+        p.add_argument("--seed", type=int, default=7)
+        p.add_argument("--cpu-only", action="store_true",
+                       help="local mode: use the Hadoop Streaming CPU path")
+        p.add_argument("--split-kb", type=int, default=32)
+        p.add_argument("--gpus", type=int, default=1,
+                       help="GPUs per node (simulate mode)")
+        p.add_argument("--policy", choices=("cpu-only", "gpu-first", "tail"),
+                       default="tail", help="scheduling policy (simulate mode)")
+        p.add_argument("--task-scale", type=float, default=0.02,
+                       help="fraction of the paper's map-task count "
+                            "(simulate mode)")
+        if cmd == "trace":
+            p.add_argument("-o", "--out", default=None,
+                           help="write the trace here (default: stdout)")
+        p.set_defaults(func=func)
+
     p = sub.add_parser("bench", help="time tree-walking vs compiled "
                                      "execution on local jobs")
     p.add_argument("--apps", nargs="*", metavar="TAG",
@@ -271,6 +403,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "BENCH_interp.json / BENCH_gpu.json for each path")
     p.add_argument("--min-speedup", type=float, default=None,
                    help="exit nonzero if any app's speedup is below this")
+    p.add_argument("--baseline", default=None, metavar="REPORT",
+                   help="exit nonzero if any app's speedup drifts beyond "
+                        "--tolerance of this committed report (the "
+                        "tracing-overhead guard)")
+    p.add_argument("--tolerance", type=float, default=0.05,
+                   help="relative drift allowed by --baseline "
+                        "(default 0.05)")
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("fuzz", help="differential conformance fuzzing "

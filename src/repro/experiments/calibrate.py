@@ -172,3 +172,63 @@ def single_task_times(
         opt.record_stealing, opt.kv_aggregation,
     )
     return _single_task_times_cached(short, cluster.name, opt_key, records, seed)
+
+
+@lru_cache(maxsize=64)
+def _traced_phase_seconds_cached(
+    app_short: str, cluster_name: str, opt_key: tuple[bool, ...],
+    records: int, seed: int,
+) -> dict[str, float]:
+    from .. import obs
+
+    app = get_app(app_short)
+    cluster = _cluster_by_name(cluster_name)
+    opt = OptimizationFlags(*opt_key)
+    split = app.generate(records, seed).encode("utf-8")
+    figures = app.cluster1 if cluster_name == "Cluster1" else app.cluster2
+    reducers = figures.reduce_tasks if figures is not None else 1
+    runner = GpuTaskRunner(
+        app.translate_map(opt),
+        app.translate_combine(opt),
+        GpuDevice(cluster.gpu),
+        IoModel.for_cluster(cluster),
+        num_reducers=reducers,
+        replication=cluster.hdfs_replication,
+        min_gpu_mem=app.min_gpu_mem,
+    )
+    recorder = obs.TraceRecorder()
+    with obs.use_recorder(recorder):
+        runner.run(split)
+    phases: dict[str, float] = {}
+    for span in recorder.spans("phase"):
+        phases[span.name] = phases.get(span.name, 0.0) + (span.dur or 0.0)
+    return phases
+
+
+def gpu_breakdown_from_trace(
+    app: Application | str,
+    cluster: ClusterConfig = CLUSTER1,
+    opt: OptimizationFlags | None = None,
+    records: int | None = None,
+    seed: int = 7,
+) -> dict[str, float]:
+    """Per-phase GPU-task seconds aggregated from *trace spans*.
+
+    This is the Fig. 6 data path: the task runs once under a
+    :class:`~repro.obs.TraceRecorder` and the breakdown is read back from
+    the ``phase`` spans the pipeline emitted, rather than from the
+    returned :class:`~repro.runtime.gpu_task.GpuTaskBreakdown`. The two
+    agree exactly (a phase span's duration *is* the charged stage time) —
+    the trace tests assert it — but deriving the figure from traces keeps
+    the observable data the single source of truth.
+    """
+    short = app if isinstance(app, str) else app.short
+    opt = opt if opt is not None else OptimizationFlags.all_on()
+    records = records if records is not None else DEFAULT_RECORDS.get(short, 300)
+    opt_key = (
+        opt.use_texture, opt.vectorize_map, opt.vectorize_combine,
+        opt.record_stealing, opt.kv_aggregation,
+    )
+    return dict(_traced_phase_seconds_cached(
+        short, cluster.name, opt_key, records, seed
+    ))

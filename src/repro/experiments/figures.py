@@ -16,7 +16,7 @@ from ..config import CLUSTER1, CLUSTER2, ClusterConfig, OptimizationFlags
 from ..errors import ConfigError
 from ..hadoop import ClusterSimulator, JobConf
 from ..scheduling import CpuOnlyPolicy, GpuFirstPolicy, TailPolicy
-from .calibrate import TaskTimes, single_task_times
+from .calibrate import TaskTimes, gpu_breakdown_from_trace, single_task_times
 
 #: Benchmarks in the paper's Fig. 4/5 ordering (by increasing speedup).
 APP_ORDER = ["GR", "HS", "WC", "HR", "LR", "KM", "CL", "BS"]
@@ -256,13 +256,17 @@ def fig6(cluster: ClusterConfig = CLUSTER1,
 
     Paper shape: BS dominated by output write (~62%); WC by sort (long
     keys); KM/CL map-heavy; HR/LR substantial combine; aggregation
-    negligible everywhere."""
+    negligible everywhere.
+
+    The per-stage seconds are read from the tracing layer (the ``phase``
+    spans one traced GPU task emits) rather than from the pipeline's
+    returned breakdown; see
+    :func:`repro.experiments.calibrate.gpu_breakdown_from_trace`."""
     out: dict[str, dict[str, float]] = {}
     for short in (apps if apps is not None else APP_ORDER):
-        times = single_task_times(short, cluster)
-        bd = times.gpu_breakdown
-        total = bd.total or 1.0
-        out[short] = {k: v / total for k, v in bd.as_dict().items()}
+        phases = gpu_breakdown_from_trace(short, cluster)
+        total = sum(phases.values()) or 1.0
+        out[short] = {k: v / total for k, v in phases.items()}
     return out
 
 

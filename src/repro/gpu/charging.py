@@ -331,5 +331,131 @@ class SpaceChargeHook(ChargeHook):
         return charge
 
 
+class CountingChargeHook(ChargeHook):
+    """Wraps another hook, tallying every charge event into a metrics
+    sink (``repro.obs.MetricsRegistry`` or anything with ``inc``).
+
+    Costs are untouched — each event delegates to the inner hook's
+    formula — so a traced run charges bit-identical WarpCost/KernelCost
+    to an untraced one; only the event tallies are added. The executor
+    installs this wrapper per launch only while a recorder is enabled,
+    keeping the disabled hot path on the bare profile.
+
+    ``profile_key`` is inherited from the inner hook: the compiled
+    kernel-body cache keys on the *cost formulas*, which counting does
+    not change, so traced and untraced launches share one artifact.
+    """
+
+    def __init__(self, inner: ChargeHook, metrics: Any) -> None:
+        self.inner = inner
+        self.metrics = metrics
+        self.profile_key = inner.profile_key
+
+    def access(self, charges: LaneCharges, buffer: Any,
+               is_store: bool) -> None:
+        self.metrics.inc("gpu.accesses")
+        self.inner.access(charges, buffer, is_store)
+
+    def record_read(self, charges: LaneCharges, counters: Any,
+                    nbytes: int, txn_bytes: int, stealing: bool) -> None:
+        self.metrics.inc("gpu.record_reads")
+        self.inner.record_read(charges, counters, nbytes, txn_bytes, stealing)
+
+    def kv_emit(self, charges: LaneCharges, counters: Any,
+                nbytes: int, vec: int) -> None:
+        self.metrics.inc("gpu.kv_emits")
+        self.inner.kv_emit(charges, counters, nbytes, vec)
+
+    def kv_move(self, charges: LaneCharges, kv_bytes: int, txn_bytes: int,
+                vec: int, cooperative: bool) -> None:
+        self.metrics.inc("gpu.kv_moves")
+        self.inner.kv_move(charges, kv_bytes, txn_bytes, vec, cooperative)
+
+    def math_call(self, charges: LaneCharges, counters: Any) -> None:
+        self.metrics.inc("gpu.math_calls")
+        self.inner.math_call(charges, counters)
+
+    def string_call(self, charges: LaneCharges, length: int,
+                    vec: int) -> None:
+        self.metrics.inc("gpu.string_calls")
+        self.inner.string_call(charges, length, vec)
+
+    # The bound (hot-path) forms wrap the inner hook's bound closures so
+    # the inner profile's launch-constant folding is preserved.
+
+    def bind_record_read(self, txn_bytes: int,
+                         stealing: bool) -> Callable[[Any, Any, int], None]:
+        inner = self.inner.bind_record_read(txn_bytes, stealing)
+        inc = self.metrics.inc
+
+        def charge(charges: LaneCharges, counters: Any, nbytes: int) -> None:
+            inc("gpu.record_reads")
+            inner(charges, counters, nbytes)
+
+        return charge
+
+    def bind_kv_emit(self, nbytes: int,
+                     vec: int) -> Callable[[Any, Any], None]:
+        inner = self.inner.bind_kv_emit(nbytes, vec)
+        inc = self.metrics.inc
+
+        def charge(charges: LaneCharges, counters: Any) -> None:
+            inc("gpu.kv_emits")
+            inner(charges, counters)
+
+        return charge
+
+    def bind_kv_move(self, kv_bytes: int, txn_bytes: int, vec: int,
+                     cooperative: bool) -> Callable[[Any], None]:
+        inner = self.inner.bind_kv_move(kv_bytes, txn_bytes, vec, cooperative)
+        inc = self.metrics.inc
+
+        def charge(charges: LaneCharges) -> None:
+            inc("gpu.kv_moves")
+            inner(charges)
+
+        return charge
+
+    def bind_math_call(self) -> Callable[[Any, Any], None]:
+        inner = self.inner.bind_math_call()
+        inc = self.metrics.inc
+
+        def charge(charges: LaneCharges, counters: Any) -> None:
+            inc("gpu.math_calls")
+            inner(charges, counters)
+
+        return charge
+
+    def bind_string_call(self, vec: int) -> Callable[[Any, int], None]:
+        inner = self.inner.bind_string_call(vec)
+        inc = self.metrics.inc
+
+        def charge(charges: LaneCharges, length: int) -> None:
+            inc("gpu.string_calls")
+            inner(charges, length)
+
+        return charge
+
+    def bind_charges(self, charges: LaneCharges) -> Callable[[Any, bool], None]:
+        inner = self.inner.bind_charges(charges)
+        inc = self.metrics.inc
+
+        def charge(buffer: Any, is_store: bool) -> None:
+            inc("gpu.accesses")
+            inner(buffer, is_store)
+
+        return charge
+
+    def bind_state(self, state: Any) -> Callable[[Any, bool], None]:
+        inner = self.inner.bind_state(state)
+        inc = self.metrics.inc
+
+        def charge(buffer: Any, is_store: bool) -> None:
+            inc("gpu.accesses")
+            inner(buffer, is_store)
+
+        return charge
+
+
 #: The profile every launch uses unless an experiment injects another.
 DEFAULT_CHARGE_HOOK = SpaceChargeHook()

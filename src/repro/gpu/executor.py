@@ -35,7 +35,13 @@ from ..minic import cast as A
 from ..minic import ctypes as T
 from ..minic.interpreter import ExecCounters, Interpreter
 from ..minic.values import Buffer, NULL, Ptr
-from .charging import ChargeHook, DEFAULT_CHARGE_HOOK, LaneCharges
+from ..obs import trace as obs
+from .charging import (
+    ChargeHook,
+    CountingChargeHook,
+    DEFAULT_CHARGE_HOOK,
+    LaneCharges,
+)
 from .device import GpuDevice
 from .engine import (
     CompiledLaneRunner,
@@ -238,7 +244,52 @@ def _make_lane_runner(
 ):
     name = _check_engine(engine if engine is not None else default_gpu_engine())
     cls = CompiledLaneRunner if name == "compiled" else _TreeLaneRunner
-    return cls(device, kernel, snapshot, shared_ro, store, partitioner)
+    hook: ChargeHook = DEFAULT_CHARGE_HOOK
+    rec = obs.active()
+    if rec.enabled:
+        # Per-launch event tallies; cost formulas (and thus the compiled
+        # kernel-body cache key) are untouched.
+        hook = CountingChargeHook(DEFAULT_CHARGE_HOOK, rec.metrics)
+    return cls(device, kernel, snapshot, shared_ro, store, partitioner,
+               hook=hook)
+
+
+def _record_kernel_launch(name: str, device: GpuDevice, cost: KernelCost,
+                          block_cycles: list[float],
+                          args: dict[str, Any]) -> None:
+    """One kernel span (plus its blocks laid out per SM) on the device
+    timeline, fed from the ChargeHook-accumulated WarpCost totals."""
+    rec = obs.active()
+    if not rec.enabled:
+        return
+    spec = device.spec
+    pid = f"gpu:{spec.name}"
+    start = rec.cursor(pid, "kernels")
+    totals = cost.totals
+    rec.complete(name, "kernel", pid, "kernels", cost.seconds, ts=start,
+                 args={
+                     "blocks": cost.blocks, "warps": cost.warps,
+                     "cycles": cost.cycles,
+                     "warp_instructions": totals.instructions,
+                     "global_txn": totals.global_txn,
+                     "shared_accesses": totals.shared_accesses,
+                     "shared_atomics": totals.shared_atomics,
+                     "global_atomics": totals.global_atomics,
+                     "texture_accesses": totals.texture_accesses,
+                     **args,
+                 })
+    # Mirror TimingModel.grid_cycles' round-robin block → SM placement,
+    # so the per-SM lanes show exactly the load imbalance that set the
+    # kernel's duration (the busiest SM reaches the span's end).
+    sm_end = [start] * spec.num_sms
+    for i, cycles in enumerate(block_cycles):
+        sm = i % spec.num_sms
+        dur = device.cycles_to_seconds(cycles)
+        rec.complete(f"block {i}", "gpu-block", pid, f"sm{sm}", dur,
+                     ts=sm_end[sm], args={"cycles": cycles})
+        sm_end[sm] += dur
+    rec.inc("gpu.kernel_launches")
+    rec.inc("gpu.warps", cost.warps)
 
 
 # --------------------------------------------------------------------------
@@ -386,6 +437,11 @@ def run_map_kernel_global_stealing(
     contention = steals * device.spec.global_atomic_cycles
     result.cost.cycles = timing.grid_cycles(block_cycles) + contention
     result.cost.seconds = device.cycles_to_seconds(result.cost.cycles)
+    _record_kernel_launch(
+        f"map_kernel[global-stealing] {kernel.name}", device, result.cost,
+        block_cycles,
+        {"records": result.records_processed, "steals": result.steals},
+    )
     return result
 
 
@@ -478,6 +534,10 @@ def run_map_kernel(
 
     result.cost.cycles = timing.grid_cycles(block_cycles)
     result.cost.seconds = device.cycles_to_seconds(result.cost.cycles)
+    _record_kernel_launch(
+        f"map_kernel {kernel.name}", device, result.cost, block_cycles,
+        {"records": result.records_processed, "steals": result.steals},
+    )
     return result
 
 
@@ -554,4 +614,9 @@ def run_combine_kernel(
     result.cost.blocks = len(block_cycles)
     result.cost.cycles = timing.grid_cycles(block_cycles)
     result.cost.seconds = device.cycles_to_seconds(result.cost.cycles)
+    _record_kernel_launch(
+        f"combine_kernel {kernel.name}", device, result.cost, block_cycles,
+        {"pairs_in": n, "pairs_out": len(result.output),
+         "chunks": result.chunks},
+    )
     return result

@@ -6,6 +6,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from ..errors import HadoopError
+from ..obs import trace as obs
 from ..scheduling.tail import SchedulingPolicy
 from .heartbeat import Heartbeat, HeartbeatResponse
 from .tasks import MapTask, TaskState
@@ -73,6 +74,10 @@ class JobTracker:
         TaskTrackers' (§6.2)."""
         if ave_speedup > self.max_speedup:
             self.max_speedup = ave_speedup
+            rec = obs.active()
+            if rec.enabled:
+                rec.gauge("jt.max_speedup", ave_speedup)
+                rec.inc("jt.speedup_updates")
 
     def task_failed(self, task: MapTask) -> None:
         """Reschedule a failed attempt (fault tolerance, §5.1)."""

@@ -23,6 +23,7 @@ from ..errors import HadoopError
 from ..gpu.device import GpuDevice
 from ..kvstore import Partitioner
 from ..kvstore.coerce import kv_line, parse_kv_line, utf8_len
+from ..obs import trace as obs
 from ..runtime.gpu_task import GpuTaskResult, GpuTaskRunner
 
 __all__ = ["LocalJobResult", "LocalJobRunner", "parse_kv_line"]
@@ -188,19 +189,45 @@ class LocalJobRunner:
             output_bytes += sum(utf8_len(t[2]) for t in combined[part])
 
         model = CpuTaskModel(self.cluster.cpu, self.io)
-        result.cpu_task_timings.append(
-            model.task_timing(
-                split_bytes=len(split),
-                map_counters=map_counters,
-                map_kv_pairs=len(pairs),
-                key_length=self._cpu_key_length,
-                combine_counters=combine_counters,
-                output_bytes=output_bytes,
-                map_only=self.app.map_only,
-                replication=self.cluster.hdfs_replication,
-            )
+        timing = model.task_timing(
+            split_bytes=len(split),
+            map_counters=map_counters,
+            map_kv_pairs=len(pairs),
+            key_length=self._cpu_key_length,
+            combine_counters=combine_counters,
+            output_bytes=output_bytes,
+            map_only=self.app.map_only,
+            replication=self.cluster.hdfs_replication,
         )
+        result.cpu_task_timings.append(timing)
+
+        rec = obs.active()
+        if rec.enabled:
+            self._record_cpu_task_trace(rec, timing, len(split), len(pairs))
         return combined
+
+    def _record_cpu_task_trace(self, rec: obs.TraceRecorder,
+                               timing: CpuTaskTiming, split_bytes: int,
+                               map_pairs: int) -> None:
+        """One CPU task span tiled by its Fig. 6-style phase children."""
+        pid, tid = "cpu-streaming", "tasks"
+        index = int(rec.metrics.count("cpu.tasks"))
+        task = rec.begin(
+            f"cpu-task#{index} {self.app.name}", "cpu-task", pid, tid,
+            args={"split_bytes": split_bytes, "map_pairs": map_pairs},
+        )
+        phases = {
+            "input_read": timing.input_read,
+            "map": timing.map,
+            "sort": timing.sort,
+            "combine": timing.combine,
+            "output_write": timing.output_write,
+        }
+        for phase, seconds in phases.items():
+            rec.complete(phase, "phase", pid, tid, seconds)
+        rec.end(task)
+        rec.inc("cpu.tasks")
+        rec.inc("cpu.map_pairs", map_pairs)
 
     # -- full job --------------------------------------------------------------------
 
@@ -210,6 +237,19 @@ class LocalJobRunner:
         result.map_tasks = len(splits)
         device = GpuDevice(self.cluster.gpu) if self.use_gpu else None
         gpu_runner = self._make_gpu_runner(device) if self.use_gpu else None
+
+        rec = obs.active()
+        job_span = None
+        if rec.enabled:
+            job_span = rec.begin(
+                f"job {self.app.name}", "job", "local-job", "driver",
+                args={
+                    "cluster": self.cluster.name,
+                    "path": "gpu" if self.use_gpu else "cpu",
+                    "map_tasks": len(splits),
+                    "reducers": self.num_reducers,
+                },
+            )
 
         # Map phase → shuffle inputs grouped by reduce partition. Each
         # entry carries its one-time streaming rendering (see the map
@@ -249,4 +289,21 @@ class LocalJobRunner:
                     raise HadoopError(f"reducer emitted duplicate key {out_k!r}")
                 output[out_k] = out_v
         result.output = output
+
+        if rec.enabled and job_span is not None:
+            rec.counter(
+                "shuffle", "local-job",
+                {"bytes": result.shuffle_bytes,
+                 "pairs": result.map_output_pairs},
+                ts=job_span.ts + result.total_map_seconds,
+            )
+            rec.inc("shuffle.bytes", result.shuffle_bytes)
+            rec.inc("job.map_output_pairs", result.map_output_pairs)
+            rec.inc("jobs")
+            rec.end(
+                job_span,
+                ts=job_span.ts + result.total_map_seconds,
+                args={"output_keys": len(output),
+                      "shuffle_bytes": result.shuffle_bytes},
+            )
         return result

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from ..costmodel.io import IoModel
 from ..errors import HadoopError
 from ..hdfs import Hdfs
+from ..obs import trace as obs
 from ..scheduling.tail import SchedulingPolicy
 from .events import EventLoop
 from .job import JobConf, JobResult
@@ -75,6 +76,9 @@ class _Attempt:
     slot: SlotKind
     duration: float
     speculative: bool = False
+    #: Open trace span + slot-lane index, set only while tracing.
+    span: obs.SpanEvent | None = None
+    lane: int | None = None
 
 
 class ClusterSimulator:
@@ -149,6 +153,91 @@ class ClusterSimulator:
         self._completed_durations: list[float] = []
         self.wasted_speculation_seconds = 0.0
         self.speculative_attempts = 0
+        #: Free slot-lane indices per (node, slot kind), only while tracing.
+        self._free_lanes: dict[tuple[int, SlotKind], list[int]] = {}
+        self._lane_high: dict[tuple[int, SlotKind], int] = {}
+
+    # -- tracing ----------------------------------------------------------------
+
+    def _trace_attempt_start(self, attempt: _Attempt) -> None:
+        """Open the attempt's span on a concrete slot lane of its node.
+
+        Lanes mirror the tracker's slot pool: the lowest free index is
+        taken at launch and returned at release, so concurrent attempts
+        on one node render side by side (cpu0..cpuN / gpu0..gpuM) and a
+        lane never holds two overlapping spans.
+        """
+        rec = obs.active()
+        if not rec.enabled:
+            return
+        key = (attempt.tracker.node, attempt.slot)
+        free = self._free_lanes.setdefault(key, [])
+        if free:
+            free.sort()
+            attempt.lane = free.pop(0)
+        else:
+            attempt.lane = self._lane_high.get(key, 0)
+            self._lane_high[key] = attempt.lane + 1
+        task = attempt.task
+        attempt.span = rec.begin(
+            f"map#{task.task_id}", "attempt",
+            f"node{attempt.tracker.node}",
+            f"{attempt.slot.value}{attempt.lane}",
+            ts=self.loop.now,
+            args={
+                "task": task.task_id,
+                "slot": attempt.slot.value,
+                "data_local": task.data_local,
+                "speculative": attempt.speculative,
+                "forced_gpu": task.forced_gpu,
+            },
+        )
+        rec.inc("sim.attempts")
+
+    def _trace_attempt_end(self, attempt: _Attempt, outcome: str) -> None:
+        """Close the attempt's span and return its lane to the pool."""
+        rec = obs.active()
+        if not rec.enabled or attempt.span is None:
+            return
+        rec.end(attempt.span, ts=self.loop.now, args={"outcome": outcome})
+        attempt.span = None
+        if attempt.lane is not None:
+            key = (attempt.tracker.node, attempt.slot)
+            self._free_lanes.setdefault(key, []).append(attempt.lane)
+            attempt.lane = None
+        rec.inc(f"sim.attempts.{outcome}")
+        if outcome == "completed":
+            rec.counter(
+                "map-progress", "cluster-sim",
+                {"completed": float(len(self._completed_durations))},
+                ts=self.loop.now,
+            )
+
+    def _trace_job_end(self, rec: obs.TraceRecorder, job_span: obs.SpanEvent,
+                       reduce_phase, completed, gpu_tasks: int,
+                       local: int) -> None:
+        """Reduce-phase spans, end-of-job counters, and the job span close."""
+        start = self._map_phase_end
+        for name, seconds in (
+            ("shuffle", reduce_phase.shuffle_seconds),
+            ("merge", reduce_phase.merge_seconds),
+            ("reduce", reduce_phase.reduce_seconds),
+            ("write", reduce_phase.write_seconds),
+        ):
+            rec.complete(name, "reduce-phase", "cluster-sim", "reduce",
+                         seconds, ts=start)
+            start += seconds
+        rec.inc("sim.tasks.gpu", gpu_tasks)
+        rec.inc("sim.tasks.cpu", len(completed) - gpu_tasks)
+        rec.inc("sim.tasks.tail_forced",
+                sum(1 for t in completed if t.forced_gpu))
+        rec.inc("sim.tasks.data_local", local)
+        rec.inc("sim.failures", self._failures)
+        rec.gauge("sim.map_phase_seconds", self._map_phase_end)
+        rec.gauge("sim.job_seconds", self._map_phase_end + reduce_phase.total)
+        rec.end(job_span, ts=self._map_phase_end + reduce_phase.total,
+                args={"map_phase_seconds": self._map_phase_end,
+                      "reduce_phase_seconds": reduce_phase.total})
 
     # -- event handlers ---------------------------------------------------------
 
@@ -156,6 +245,11 @@ class ClusterSimulator:
         if self.jobtracker.all_maps_done:
             return  # cluster drains; no more heartbeats needed
         response = self.jobtracker.handle_heartbeat(tracker.make_heartbeat())
+        rec = obs.active()
+        if rec.enabled:
+            rec.inc("sim.heartbeats")
+            if response.task_ids:
+                rec.inc("sim.grants", len(response.task_ids))
         tracker.maps_remaining_per_node = response.maps_remaining_per_node
         for task_id in response.task_ids:
             task = self.jobtracker.get_task(task_id)
@@ -197,6 +291,16 @@ class ClusterSimulator:
                           speculative=True)
         self._speculated.add(worst.task.task_id)
         self.speculative_attempts += 1
+        rec = obs.active()
+        if rec.enabled:
+            rec.instant(
+                "speculate", "scheduling", "cluster-sim", "decisions",
+                ts=self.loop.now,
+                args={"task": worst.task.task_id, "node": tracker.node,
+                      "remaining": worst_remaining},
+            )
+            rec.inc("sim.speculative_attempts")
+        self._trace_attempt_start(backup)
         self.loop.schedule(duration, lambda: self._attempt_done(backup))
 
     def _launch(self, tracker: TaskTracker, task: MapTask) -> None:
@@ -213,6 +317,7 @@ class ClusterSimulator:
         attempt = _Attempt(task=task, tracker=tracker, slot=task.slot,
                            duration=duration)
         self._running_attempts[task.task_id] = attempt
+        self._trace_attempt_start(attempt)
         if fails:
             self.loop.schedule(
                 duration * 0.5, lambda: self._fail(attempt, duration * 0.5)
@@ -225,6 +330,7 @@ class ClusterSimulator:
         if task.state is TaskState.COMPLETED:
             # A speculative backup already finished this task.
             tracker.release_slot(attempt.slot, elapsed)
+            self._trace_attempt_end(attempt, "wasted")
             self._drain_gpu_queue(tracker)
             return
         task.fail(self.loop.now)
@@ -232,6 +338,7 @@ class ClusterSimulator:
         tracker.stats.failures += 1
         self._failures += 1
         self._running_attempts.pop(task.task_id, None)
+        self._trace_attempt_end(attempt, "failed")
         self.jobtracker.task_failed(task)
         self._drain_gpu_queue(tracker)
 
@@ -241,6 +348,7 @@ class ClusterSimulator:
         if task.state is TaskState.COMPLETED:
             # The other (primary or speculative) attempt already won.
             self.wasted_speculation_seconds += attempt.duration
+            self._trace_attempt_end(attempt, "wasted")
             self._drain_gpu_queue(tracker)
             return
         task.complete(self.loop.now)
@@ -249,6 +357,7 @@ class ClusterSimulator:
             task.slot = attempt.slot
         self._running_attempts.pop(task.task_id, None)
         self._completed_durations.append(attempt.duration)
+        self._trace_attempt_end(attempt, "completed")
         self.jobtracker.note_completed(task)
         self._map_phase_end = max(self._map_phase_end, self.loop.now)
         self._drain_gpu_queue(tracker)
@@ -261,6 +370,20 @@ class ClusterSimulator:
     # -- run ---------------------------------------------------------------------
 
     def run(self) -> JobResult:
+        rec = obs.active()
+        job_span = None
+        if rec.enabled:
+            job_span = rec.begin(
+                f"job {self.job.name}", "job", "cluster-sim", "job",
+                ts=0.0,
+                args={
+                    "cluster": self.job.cluster.name,
+                    "policy": self.policy.name,
+                    "map_tasks": len(self.tasks),
+                    "reduce_tasks": self.job.num_reduce_tasks,
+                },
+            )
+
         # Stagger initial heartbeats as real TaskTrackers do.
         interval = self.job.cluster.heartbeat_interval_s
         for i, tracker in enumerate(self.trackers):
@@ -278,6 +401,9 @@ class ClusterSimulator:
         completed = [t for t in self.tasks if t.state is TaskState.COMPLETED]
         gpu_tasks = sum(1 for t in completed if t.slot is SlotKind.GPU)
         local = sum(1 for t in completed if t.data_local)
+        if rec.enabled and job_span is not None:
+            self._trace_job_end(rec, job_span, reduce_phase, completed,
+                                gpu_tasks, local)
         return JobResult(
             job_seconds=self._map_phase_end + reduce_phase.total,
             map_phase_seconds=self._map_phase_end,

@@ -1,0 +1,51 @@
+"""Observability: structured tracing + metrics for every layer.
+
+Zero-dependency substrate behind the ``repro trace`` / ``repro stats``
+CLI and the golden-trace tests:
+
+* :mod:`repro.obs.trace` — span/instant/counter recorder with dual
+  clocks (deterministic simulated seconds + optional host wall-clock);
+  off by default behind one ``enabled`` branch (:data:`NULL_RECORDER`).
+* :mod:`repro.obs.metrics` — counter/gauge registry.
+* :mod:`repro.obs.export` — canonical Chrome trace-event JSON export
+  plus a schema validator.
+
+Typical use::
+
+    from repro import obs
+
+    with obs.use_recorder(obs.TraceRecorder()) as rec:
+        LocalJobRunner(app).run(text)
+    open("job.trace.json", "w").write(obs.dumps(obs.export_chrome(rec)))
+
+See docs/observability.md for the recorder API, clock semantics, the
+trace format, and the triage workflow.
+"""
+
+from .export import (
+    TraceSchemaError,
+    check_trace,
+    dumps,
+    export_chrome,
+    validate_trace,
+)
+from .metrics import MetricsRegistry
+from .trace import (
+    CounterEvent,
+    InstantEvent,
+    NULL_RECORDER,
+    NullRecorder,
+    SpanEvent,
+    TraceRecorder,
+    active,
+    install,
+    use_recorder,
+)
+
+__all__ = [
+    "CounterEvent", "InstantEvent", "SpanEvent",
+    "MetricsRegistry", "NullRecorder", "TraceRecorder", "NULL_RECORDER",
+    "active", "install", "use_recorder",
+    "TraceSchemaError", "check_trace", "dumps", "export_chrome",
+    "validate_trace",
+]

@@ -1,0 +1,194 @@
+"""Chrome trace-event export and schema validation.
+
+:func:`export_chrome` turns a :class:`~repro.obs.trace.TraceRecorder`
+into the Chrome/Perfetto trace-event JSON object form (load it at
+``chrome://tracing`` or https://ui.perfetto.dev). :func:`dumps` renders
+it to *canonical bytes* — compact separators, sorted keys, one trailing
+newline — so two identical runs serialize byte-for-byte identically and
+a committed golden trace can be compared with ``==`` on file contents.
+
+Conventions:
+
+* pids/tids are small integers assigned in first-seen track order;
+  the human names travel in ``process_name`` / ``thread_name`` metadata
+  events (the format's own labeling mechanism).
+* ``ts``/``dur`` are microseconds of **simulated** time, rounded to
+  1e-3 µs (simulated nanoseconds). Host wall-clock durations are
+  excluded unless ``include_wall=True`` adds them under
+  ``args["wall_ms"]`` — never in golden traces.
+* Counter samples become ``ph: "C"`` events; the final metrics registry
+  is embedded once under ``otherData.metrics``.
+
+:func:`validate_trace` is the schema gate used by the trace tests and
+the CLI: it checks the object form, the per-phase event fields, and the
+pid/tid ↔ metadata correspondence, returning a list of problems (empty
+when valid).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..errors import ReproError
+from .trace import CounterEvent, InstantEvent, SpanEvent, TraceRecorder
+
+__all__ = ["export_chrome", "dumps", "validate_trace", "TraceSchemaError"]
+
+
+class TraceSchemaError(ReproError):
+    """A trace failed schema validation."""
+
+
+def _us(seconds: float) -> float:
+    """Simulated seconds → trace microseconds (ns-resolution grid)."""
+    return round(seconds * 1e6, 3)
+
+
+def export_chrome(recorder: TraceRecorder,
+                  include_wall: bool = False) -> dict[str, Any]:
+    """The Chrome trace-event JSON object for one recorded run."""
+    if recorder.open_spans():
+        names = ", ".join(s.name for s in recorder.open_spans())
+        raise ReproError(f"cannot export with open spans: {names}")
+
+    pids: dict[str, int] = {}
+    tids: dict[tuple[str, str], int] = {}
+    events: list[dict[str, Any]] = []
+    for pid_name, tid_name in recorder.tracks:
+        if pid_name not in pids:
+            pids[pid_name] = len(pids) + 1
+            events.append({
+                "name": "process_name", "ph": "M", "pid": pids[pid_name],
+                "tid": 0, "args": {"name": pid_name},
+            })
+        key = (pid_name, tid_name)
+        if key not in tids:
+            tids[key] = sum(1 for p, _t in tids if p == pid_name) + 1
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": pids[pid_name],
+                "tid": tids[key], "args": {"name": tid_name},
+            })
+
+    for event in recorder.events:
+        if isinstance(event, SpanEvent):
+            out: dict[str, Any] = {
+                "name": event.name, "cat": event.cat, "ph": "X",
+                "pid": pids[event.pid], "tid": tids[(event.pid, event.tid)],
+                "ts": _us(event.ts), "dur": _us(event.dur or 0.0),
+            }
+            args = dict(event.args)
+            if include_wall and event.wall_dur is not None:
+                args["wall_ms"] = round(event.wall_dur * 1e3, 6)
+            if args:
+                out["args"] = args
+        elif isinstance(event, InstantEvent):
+            out = {
+                "name": event.name, "cat": event.cat, "ph": "i", "s": "t",
+                "pid": pids[event.pid], "tid": tids[(event.pid, event.tid)],
+                "ts": _us(event.ts),
+            }
+            if event.args:
+                out["args"] = dict(event.args)
+        elif isinstance(event, CounterEvent):
+            out = {
+                "name": event.name, "ph": "C", "pid": pids[event.pid],
+                "tid": 0, "ts": _us(event.ts), "args": dict(event.values),
+            }
+        else:  # pragma: no cover - recorder only produces the three kinds
+            raise ReproError(f"unknown event type {type(event).__name__}")
+        events.append(out)
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "clock": "simulated-seconds",
+            "generator": "repro.obs",
+            "metrics": recorder.metrics.snapshot(),
+        },
+    }
+
+
+def dumps(trace: dict[str, Any]) -> str:
+    """Canonical serialization (stable bytes for golden comparisons)."""
+    return json.dumps(trace, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+_PHASES = {"M", "X", "i", "C"}
+_META_NAMES = {"process_name", "thread_name",
+               "process_sort_index", "thread_sort_index"}
+
+
+def _is_num(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate_trace(trace: Any) -> list[str]:
+    """Validate the object form; returns a list of problems (empty = ok)."""
+    problems: list[str] = []
+    if not isinstance(trace, dict):
+        return [f"trace must be a JSON object, got {type(trace).__name__}"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+
+    named_pids: set[int] = set()
+    named_tids: set[tuple[int, int]] = set()
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in _PHASES:
+            problems.append(f"{where}: bad ph {ph!r}")
+            continue
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            problems.append(f"{where}: missing/empty name")
+        if not isinstance(ev.get("pid"), int):
+            problems.append(f"{where}: pid must be an int")
+            continue
+        if ph == "M":
+            if ev["name"] not in _META_NAMES:
+                problems.append(f"{where}: unknown metadata {ev['name']!r}")
+            elif ev["name"] == "process_name":
+                named_pids.add(ev["pid"])
+            elif ev["name"] == "thread_name":
+                named_tids.add((ev["pid"], ev.get("tid", 0)))
+            continue
+        if not _is_num(ev.get("ts")) or ev["ts"] < 0:
+            problems.append(f"{where}: ts must be a non-negative number")
+        if ev["pid"] not in named_pids:
+            problems.append(f"{where}: pid {ev['pid']} has no process_name")
+        if ph == "X":
+            if not isinstance(ev.get("cat"), str):
+                problems.append(f"{where}: complete event needs a cat")
+            if not _is_num(ev.get("dur")) or ev["dur"] < 0:
+                problems.append(f"{where}: dur must be a non-negative number")
+            if (ev["pid"], ev.get("tid")) not in named_tids:
+                problems.append(
+                    f"{where}: tid {ev.get('tid')} has no thread_name"
+                )
+        elif ph == "i":
+            if ev.get("s") not in ("t", "p", "g"):
+                problems.append(f"{where}: instant scope must be t/p/g")
+        elif ph == "C":
+            args = ev.get("args")
+            if not isinstance(args, dict) or not args:
+                problems.append(f"{where}: counter needs numeric args")
+            elif not all(_is_num(v) for v in args.values()):
+                problems.append(f"{where}: counter args must be numbers")
+        args = ev.get("args")
+        if args is not None and not isinstance(args, dict):
+            problems.append(f"{where}: args must be an object")
+    return problems
+
+
+def check_trace(trace: Any) -> None:
+    """Raise :class:`TraceSchemaError` on the first validation problem."""
+    problems = validate_trace(trace)
+    if problems:
+        raise TraceSchemaError(
+            f"{len(problems)} schema problem(s): " + "; ".join(problems[:5])
+        )

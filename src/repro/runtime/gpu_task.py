@@ -33,6 +33,7 @@ from ..kvstore.aggregation import aggregate, scattered_partitions
 from ..kvstore.coerce import coerce_pair
 from ..costmodel.io import IoModel
 from ..minic.interpreter import Interpreter
+from ..obs import trace as obs
 from .records import locate_records
 from .seqfile import SequenceFileWriter
 
@@ -336,4 +337,40 @@ class GpuTaskRunner:
             # 9. Free device memory.
             device.memory.free_(input_alloc)
 
+        rec = obs.active()
+        if rec.enabled:
+            self._record_task_trace(rec, result)
+
         return result
+
+    def _record_task_trace(self, rec: obs.TraceRecorder,
+                           result: GpuTaskResult) -> None:
+        """One task span with a phase child per Fig. 6 category.
+
+        Spans live on the simulated-seconds cursor of the device's
+        ``tasks`` lane; the phase children tile the task span exactly,
+        so per-task phase sums equal ``result.seconds`` by construction
+        (the span-invariant the trace tests assert, and the substrate
+        the Fig. 6 breakdown is derived from).
+        """
+        pid = f"gpu:{self.device.spec.name}"
+        tid = "tasks"
+        kernel = self.map_tr.map_kernel
+        assert kernel is not None
+        index = int(rec.metrics.count("gpu.tasks"))
+        task = rec.begin(
+            f"gpu-task#{index} {kernel.name}", "gpu-task",
+            pid, tid,
+            args={
+                "records": result.records,
+                "emitted_pairs": result.emitted_pairs,
+                "output_pairs": result.output_pairs,
+                "output_bytes": result.output_bytes,
+            },
+        )
+        for phase, seconds in result.breakdown.as_dict().items():
+            rec.complete(phase, "phase", pid, tid, seconds)
+        rec.end(task)
+        rec.inc("gpu.tasks")
+        rec.inc("gpu.records", result.records)
+        rec.inc("gpu.emitted_pairs", result.emitted_pairs)

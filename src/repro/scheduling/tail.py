@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import Protocol
 
+from ..obs import trace as obs
 from .gpu_first import GpuFirstPolicy, PlacementDecision
 
 
@@ -58,6 +59,10 @@ class TailPolicy(GpuFirstPolicy):
                        max_speedup: float, num_slaves: int) -> int:
         job_tail = num_gpus_per_node * max_speedup * num_slaves
         if remaining <= job_tail:
+            rec = obs.active()
+            if rec.enabled:
+                rec.inc("tail.capped_grants")
+                rec.gauge("tail.job_tail", job_tail)
             # scheduleNumGPUTasksAtMax: once the job tail begins, grants
             # are capped so forced tasks don't pile up behind busy devices
             # ('the JobTracker only schedules at most numGPUs tasks on a
@@ -84,6 +89,10 @@ class TailPolicy(GpuFirstPolicy):
               maps_remaining_per_node: float) -> PlacementDecision:
         task_tail = num_gpus * ave_speedup
         if maps_remaining_per_node <= self.FORCE_MARGIN * task_tail:
+            rec = obs.active()
+            if rec.enabled:
+                rec.inc("tail.forced_placements")
+                rec.gauge("tail.task_tail", task_tail)
             return PlacementDecision(use_gpu=True, forced=True)
         return super().place(
             gpu_free, cpu_free, num_gpus, ave_speedup, maps_remaining_per_node

@@ -68,3 +68,43 @@ int main() {
     def test_unknown_app_fails_cleanly(self, capsys):
         assert main(["run", "XX"]) == 1
         assert "error:" in capsys.readouterr().err
+
+    def test_trace_local_writes_valid_json(self, tmp_path, capsys):
+        import json
+
+        from repro import obs
+
+        out = tmp_path / "t.json"
+        assert main(["trace", "HS", "--records", "80", "--split-kb", "8",
+                     "-o", str(out)]) == 0
+        trace = json.loads(out.read_text())
+        assert obs.validate_trace(trace) == []
+        assert "chrome://tracing" in capsys.readouterr().err
+
+    def test_stats_prints_span_and_counter_totals(self, capsys):
+        assert main(["stats", "HS", "--records", "60",
+                     "--split-kb", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "spans by category" in out
+        assert "gpu-task" in out
+        assert "gpu.kernel_launches" in out
+
+    def test_stats_simulate_mode(self, capsys):
+        assert main(["stats", "WC", "--mode", "simulate",
+                     "--policy", "tail", "--task-scale", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "attempt" in out
+        assert "sim.heartbeats" in out
+
+    def test_bench_baseline_guard(self, tmp_path, capsys):
+        import json
+
+        baseline = tmp_path / "base.json"
+        baseline.write_text(json.dumps({
+            "results": [{"app": "WC", "speedup": 1000.0}]
+        }))
+        rc = main(["bench", "--apps", "WC", "--path", "cpu",
+                   "--records", "120", "--repeat", "1",
+                   "--baseline", str(baseline), "--tolerance", "0.05"])
+        assert rc == 1
+        assert "drifted" in capsys.readouterr().err

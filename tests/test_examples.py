@@ -1,0 +1,39 @@
+"""CI smoke tests: every script in examples/ must run cleanly.
+
+Each example is executed in a subprocess exactly the way the README
+tells a user to run it (``PYTHONPATH=src python examples/<name>.py``);
+exit status 0 and a non-empty stdout are the contract.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((REPO / "examples").glob("*.py"))
+
+
+def test_examples_exist():
+    assert EXAMPLES, "examples/ directory is empty"
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_clean(script: Path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, env=env, cwd=str(REPO),
+        timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"{script.name} exited {proc.returncode}\n"
+        f"--- stdout ---\n{proc.stdout[-2000:]}\n"
+        f"--- stderr ---\n{proc.stderr[-2000:]}"
+    )
+    assert proc.stdout.strip(), f"{script.name} printed nothing"

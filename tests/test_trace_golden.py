@@ -1,0 +1,97 @@
+"""Golden trace-replay tests.
+
+The canonical trace — Wordcount on Cluster1 under tail scheduling at
+``--task-scale 0.02`` — is committed at
+``tests/golden/wc_cluster1_tail.trace.json``. Re-running the exact CLI
+invocation must reproduce it **byte for byte**: every simulated
+timestamp, every scheduling decision, every counter, and the canonical
+JSON layout. Any diff means either nondeterminism crept into the
+simulator/tracer or a deliberate behaviour change (regenerate with
+``python -m repro trace WC --mode simulate --policy tail \\
+--task-scale 0.02 -o tests/golden/wc_cluster1_tail.trace.json``).
+
+The schema sweep then validates traces from every Table 2 app on both
+execution paths against the Chrome trace-event rules.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import cli, obs
+from repro.apps import all_apps, get_app
+from repro.hadoop.local import LocalJobRunner
+
+GOLDEN = Path(__file__).resolve().parent / "golden" / "wc_cluster1_tail.trace.json"
+GOLDEN_ARGS = ["trace", "WC", "--mode", "simulate", "--policy", "tail",
+               "--task-scale", "0.02", "--cluster", "1"]
+
+APP_TAGS = [app.short for app in all_apps()]
+
+RECORDS = {
+    "GR": 200, "WC": 200, "HS": 200, "HR": 200,
+    "LR": 100, "KM": 60, "CL": 80, "BS": 30,
+}
+
+
+def _cli_trace_bytes(tmp_path: Path, name: str, extra_args: list[str]) -> bytes:
+    out = tmp_path / name
+    rc = cli.main([*extra_args, "-o", str(out)])
+    assert rc == 0
+    return out.read_bytes()
+
+
+def test_golden_trace_reproduces_byte_for_byte(tmp_path):
+    got = _cli_trace_bytes(tmp_path, "replay.json", GOLDEN_ARGS)
+    want = GOLDEN.read_bytes()
+    if got != want:  # a real diff: fail with a useful summary
+        got_trace = json.loads(got)
+        want_trace = json.loads(want)
+        assert len(got_trace["traceEvents"]) == len(want_trace["traceEvents"]), (
+            "event count diverged"
+        )
+        for i, (g, w) in enumerate(
+            zip(got_trace["traceEvents"], want_trace["traceEvents"])
+        ):
+            assert g == w, f"first divergent event at traceEvents[{i}]"
+        pytest.fail("traces differ outside traceEvents (metrics/otherData?)")
+
+
+def test_golden_trace_replays_identically_twice(tmp_path):
+    first = _cli_trace_bytes(tmp_path, "one.json", GOLDEN_ARGS)
+    second = _cli_trace_bytes(tmp_path, "two.json", GOLDEN_ARGS)
+    assert first == second
+
+
+def test_golden_trace_is_schema_valid():
+    trace = json.loads(GOLDEN.read_text())
+    assert obs.validate_trace(trace) == []
+    meta = trace["otherData"]
+    assert meta["clock"] == "simulated-seconds"
+    counters = meta["metrics"]["counters"]
+    assert counters["sim.attempts"] >= counters["sim.tasks.gpu"]
+
+
+@pytest.mark.parametrize("short", APP_TAGS)
+def test_every_app_emits_a_schema_valid_trace(short):
+    app = get_app(short)
+    text = app.generate(RECORDS.get(short, 100), seed=7)
+    with obs.use_recorder(obs.TraceRecorder()) as rec:
+        LocalJobRunner(app, use_gpu=True, split_bytes=4 * 1024).run(text)
+    trace = obs.export_chrome(rec)
+    assert obs.validate_trace(trace) == []
+    # canonical serialization round-trips
+    assert obs.dumps(trace) == obs.dumps(json.loads(obs.dumps(trace)))
+
+
+def test_trace_cli_stdout_matches_file_output(tmp_path, capsys):
+    rc = cli.main(["trace", "WC", "--records", "120"])
+    assert rc == 0
+    stdout = capsys.readouterr().out
+    via_file = _cli_trace_bytes(
+        tmp_path, "f.json", ["trace", "WC", "--records", "120"]
+    )
+    assert stdout.encode() == via_file
