@@ -64,16 +64,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
     cluster = CLUSTER1 if args.cluster == 1 else CLUSTER2
     runner = LocalJobRunner(
         app, cluster=cluster, use_gpu=not args.cpu_only,
-        split_bytes=args.split_kb * 1024,
+        split_bytes=args.split_kb * 1024, workers=args.workers,
     )
     result = runner.run(text)
     path = "CPU (Hadoop Streaming)" if args.cpu_only else "GPU (translated kernels)"
-    print(f"{app.name}: {result.map_tasks} map tasks on the {path} path")
+    print(f"{app.name}: {result.map_tasks} map tasks on the {path} path"
+          + (f" across {result.workers} workers" if result.workers > 1 else ""))
     print(f"map output pairs : {result.map_output_pairs}")
     print(f"final keys       : {len(result.output)}")
     if result.gpu_task_results:
         total = sum(r.seconds for r in result.gpu_task_results)
         print(f"simulated GPU map time: {total * 1e3:.3f} ms")
+    if result.workers > 1:
+        print(f"map critical path     : "
+              f"{result.map_critical_path_seconds * 1e3:.3f} ms "
+              f"(task-seconds sum {result.total_map_seconds * 1e3:.3f} ms)")
     sample = list(result.output.items())[: args.show]
     print(f"first {len(sample)} outputs: {sample}")
     return 0
@@ -158,7 +163,7 @@ def _traced_run(args: argparse.Namespace):
         text = app.generate(args.records, seed=args.seed)
         runner = LocalJobRunner(
             app, cluster=cluster, use_gpu=not args.cpu_only,
-            split_bytes=args.split_kb * 1024,
+            split_bytes=args.split_kb * 1024, workers=args.workers,
         )
         with obs.use_recorder(recorder):
             runner.run(text)
@@ -211,19 +216,40 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     from . import bench
 
-    paths = ("cpu", "gpu") if args.path == "all" else (args.path,)
+    paths = ("cpu", "gpu", "parallel") if args.path == "all" \
+        else (args.path,)
     if args.out and len(paths) > 1:
         raise ReproError("--out needs a single --path; "
-                         "use --json to write both canonical reports")
+                         "use --json to write the canonical reports")
     apps = args.apps or list(bench.DEFAULT_APPS)
+    if args.workers is not None and args.workers < 2:
+        raise ReproError("bench --workers must be >= 2")
+    worker_steps = bench._DEFAULT_WORKER_STEPS if args.workers is None \
+        else tuple(sorted({1, 2, args.workers}))
     rc = 0
     reports: dict[str, dict] = {}
     for path in paths:
-        run = bench.run_bench if path == "cpu" else bench.run_gpu_bench
-        report = run(apps, records=args.records, repeat=args.repeat,
-                     seed=args.seed)
+        if path == "parallel":
+            report = bench.run_parallel_bench(
+                apps, records=args.records, repeat=args.repeat,
+                seed=args.seed, worker_steps=worker_steps)
+        else:
+            run = bench.run_bench if path == "cpu" else bench.run_gpu_bench
+            report = run(apps, records=args.records, repeat=args.repeat,
+                         seed=args.seed)
         reports[path] = report
-        if not args.json:
+        if not args.json and path == "parallel":
+            print(f"[{path} path]")
+            for r in report["results"]:
+                steps = "  ".join(
+                    f"w={c['workers']} cp {c['critical_path_seconds']:.4f}s"
+                    + (f" sim {c['sim_speedup']:.2f}x"
+                       if c["workers"] > 1 else "")
+                    for c in r["configs"]
+                )
+                print(f"{r['app']:4s} {r['records']:6d} records  "
+                      f"{r['map_tasks']:3d} maps  {steps}")
+        elif not args.json:
             print(f"[{path} path]")
             for r in report["results"]:
                 print(f"{r['app']:4s} {r['records']:6d} records  "
@@ -276,6 +302,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         shrink=not args.no_shrink,
         corpus_dir=args.corpus_dir,
         log=None if args.quiet else print,
+        workers=args.workers,
     )
     print(result.summary())
     for _case, divergence, minimized in result.divergences:
@@ -344,6 +371,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="use the Hadoop Streaming CPU path")
     p.add_argument("--split-kb", type=int, default=32)
     p.add_argument("--show", type=int, default=8)
+    p.add_argument("--workers", type=int, default=None,
+                   help="map-phase worker processes (default: "
+                        "$REPRO_WORKERS or 1; 0 = one per CPU core)")
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser("simulate", help="cluster-scale job simulation")
@@ -380,6 +410,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--task-scale", type=float, default=0.02,
                        help="fraction of the paper's map-task count "
                             "(simulate mode)")
+        p.add_argument("--workers", type=int, default=None,
+                       help="map-phase worker processes (local mode; "
+                            "worker spans land on per-worker pid tracks)")
         if cmd == "trace":
             p.add_argument("-o", "--out", default=None,
                            help="write the trace here (default: stdout)")
@@ -389,9 +422,11 @@ def build_parser() -> argparse.ArgumentParser:
                                      "execution on local jobs")
     p.add_argument("--apps", nargs="*", metavar="TAG",
                    help="benchmark tags (default: WC KM)")
-    p.add_argument("--path", choices=("cpu", "gpu", "all"), default="cpu",
+    p.add_argument("--path", choices=("cpu", "gpu", "parallel", "all"),
+                   default="cpu",
                    help="cpu: interpreter backends on streaming jobs; "
-                        "gpu: lane engines on GPU-path jobs; all: both")
+                        "gpu: lane engines on GPU-path jobs; parallel: "
+                        "worker-pool map phase vs serial; all: every path")
     p.add_argument("--records", type=int, default=None,
                    help="records per app (default: per-app sizes)")
     p.add_argument("--repeat", type=int, default=3)
@@ -410,6 +445,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tolerance", type=float, default=0.05,
                    help="relative drift allowed by --baseline "
                         "(default 0.05)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="highest worker count for --path parallel "
+                        "(steps become 1,2,N; default steps 1,2,4)")
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("fuzz", help="differential conformance fuzzing "
@@ -430,6 +468,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: tests/fuzz_corpus/)")
     p.add_argument("--quiet", action="store_true",
                    help="only print the final summary line")
+    p.add_argument("--workers", type=int, default=None,
+                   help="fan cases across worker processes (digest is "
+                        "identical at any worker count)")
     p.set_defaults(func=_cmd_fuzz)
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")

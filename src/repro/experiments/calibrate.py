@@ -27,7 +27,8 @@ from ..costmodel.cpu import CpuTaskModel, CpuTaskTiming
 from ..costmodel.io import IoModel
 from ..errors import ConfigError
 from ..gpu.device import GpuDevice
-from ..hadoop.local import parse_kv_line, _sort_key
+from ..hadoop.local import parse_kv_line
+from ..hadoop.shuffle import sort_kv_run
 from ..kvstore import Partitioner
 from ..runtime.gpu_task import GpuTaskBreakdown, GpuTaskRunner
 
@@ -92,7 +93,7 @@ def _cpu_task(app: Application, cluster: ClusterConfig, split: bytes,
     combine_counters = None
     output_pairs: list[tuple[Any, Any]] = []
     for _part, kvs in sorted(parts.items()):
-        kvs.sort(key=lambda kv: _sort_key(kv[0]))
+        kvs = sort_kv_run(kvs)
         if app.has_combiner:
             text_in = "".join(f"{k}\t{v}\n" for k, v in kvs)
             out, counters = app.cpu_combine(text_in)

@@ -38,6 +38,7 @@ from ..hadoop.local import LocalJobRunner, parse_kv_line
 from ..kvstore.global_store import KVPair
 from ..minic import parse
 from ..minic.interpreter import ExecCounters, Interpreter, run_filter, use_backend
+from ..parallel import in_worker
 from .gen import FuzzCase
 
 #: Small split so multi-line inputs exercise >1 map task occasionally.
@@ -143,9 +144,10 @@ def _fuzz_app(case: FuzzCase) -> Application:
     )
 
 
-def _run_job(app: Application, input_text: str, use_gpu: bool):
+def _run_job(app: Application, input_text: str, use_gpu: bool,
+             workers: int = 1):
     runner = LocalJobRunner(app, use_gpu=use_gpu, num_reducers=2,
-                            split_bytes=_SPLIT_BYTES)
+                            split_bytes=_SPLIT_BYTES, workers=workers)
     return runner.run(input_text)
 
 
@@ -164,6 +166,28 @@ def _compare_mapper_job(case: FuzzCase) -> Divergence | None:
     except ReproError as exc:
         return Divergence(case, "cpu-job-error",
                           f"{type(exc).__name__}: {exc}")
+    # Parallel configuration: the same CPU job fanned across a worker
+    # pool must match the serial run byte for byte. Skipped inside a
+    # fuzz pool worker (workers are leaves — the job would silently run
+    # serially, comparing a run against itself) and for single-split
+    # inputs (ditto: the runner caps workers at the task count).
+    if not in_worker() and len(case.input_text.encode()) > _SPLIT_BYTES:
+        try:
+            par = _run_job(app, case.input_text, use_gpu=False, workers=2)
+        except ReproError as exc:
+            return Divergence(case, "parallel-job-error",
+                              f"{type(exc).__name__}: {exc}")
+        if par.output != cpu.output:
+            return Divergence(case, "parallel-vs-serial-output",
+                              _fmt_output_diff(cpu.output, par.output))
+        if par.map_output_pairs != cpu.map_output_pairs or \
+                par.task_seconds() != cpu.task_seconds():
+            return Divergence(
+                case, "parallel-vs-serial-timing",
+                f"serial pairs={cpu.map_output_pairs} "
+                f"seconds={cpu.task_seconds()}\n"
+                f"parallel pairs={par.map_output_pairs} "
+                f"seconds={par.task_seconds()}")
     try:
         # Three GPU configurations: the tree lane engine under both CPU
         # backends (kernel bodies interpreted vs compiled), plus the

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
+from ..parallel.pool import resolve_workers, task_pool
 from .gen import KIND_SCHEDULE, FuzzCase, generate_case
 from .oracle import Divergence, run_case
 from .shrink import shrink_case
@@ -101,6 +102,19 @@ def load_corpus(corpus_dir: Path | None = None) -> list[FuzzCase]:
     return cases
 
 
+def _oracle_task(payload: tuple[int, int, tuple[str, ...]]) \
+        -> tuple[FuzzCase, Divergence | None]:
+    """Pool work item: generate case ``index`` and run the oracle.
+
+    The oracle's own parallel-job configuration self-disables inside a
+    pool worker (workers are leaves), so each case costs the same work
+    it does serially.
+    """
+    seed, index, kinds = payload
+    case = generate_case(seed, index, kinds=kinds)
+    return case, run_case(case)
+
+
 def run_campaign(
     seed: int = 0,
     count: int = 300,
@@ -109,6 +123,7 @@ def run_campaign(
     shrink: bool = True,
     corpus_dir: Path | None = None,
     log: Callable[[str], None] | None = None,
+    workers: int | None = None,
 ) -> CampaignResult:
     """Run ``count`` generated cases through the oracle.
 
@@ -116,41 +131,67 @@ def run_campaign(
     once exceeded, recorded in ``executed``. Divergent cases are
     minimized (unless ``shrink=False``) and persisted under
     ``corpus_dir`` (default: the repo's ``tests/fuzz_corpus/``).
+
+    ``workers`` fans cases across a pool (None → ``REPRO_WORKERS``).
+    Results are consumed in case-index order and shrinking/persisting
+    stays in the parent, so the campaign digest is identical at any
+    worker count — the determinism witness covers the parallel driver
+    too.
     """
     result = CampaignResult(seed=seed, requested=count)
     sha = hashlib.sha1()
     start = time.monotonic()
-    for index in range(count):
-        if time_budget is not None and time.monotonic() - start > time_budget:
-            if log:
-                log(f"time budget {time_budget:.0f}s exhausted after "
-                    f"{index} cases")
-            break
-        case = generate_case(seed, index, kinds=kinds)
-        divergence = run_case(case)
-        result.executed += 1
-        result.kind_counts[case.kind] = result.kind_counts.get(case.kind, 0) + 1
-        outcome = "ok" if divergence is None else divergence.check
-        for chunk in (case.name, case.source, case.input_text,
-                      case.combine_source or "", outcome):
-            sha.update(chunk.encode())
-            sha.update(b"\x00")
-        if divergence is not None:
-            if log:
-                log(f"DIVERGENCE at case {case.name}: {divergence.check}")
-            minimized = case
-            if shrink:
-                minimized = shrink_case(case, divergence.check)
+    nworkers = resolve_workers(workers, tasks=count)
+    pool = task_pool(nworkers) if nworkers > 1 else None
+    if pool is not None:
+        payloads = [(seed, index, kinds) for index in range(count)]
+        outcomes = pool.imap_tasks(_oracle_task, payloads)
+    else:
+        outcomes = (_oracle_task((seed, index, kinds))
+                    for index in range(count))
+    stopped_early = False
+    try:
+        for index, (case, divergence) in enumerate(outcomes):
+            if time_budget is not None and \
+                    time.monotonic() - start > time_budget:
+                stopped_early = True
                 if log:
-                    log(f"  minimized {len(case.source)} -> "
-                        f"{len(minimized.source)} bytes")
-            result.divergences.append((case, divergence, minimized))
-            target = DEFAULT_CORPUS if corpus_dir is None else Path(corpus_dir)
-            entry = persist_divergence(target, minimized, divergence)
-            if log:
-                log(f"  persisted to {entry}")
-        elif log and (index + 1) % 50 == 0:
-            log(f"{index + 1}/{count} cases, all conforming")
+                    log(f"time budget {time_budget:.0f}s exhausted after "
+                        f"{index} cases")
+                break
+            result.executed += 1
+            result.kind_counts[case.kind] = \
+                result.kind_counts.get(case.kind, 0) + 1
+            outcome = "ok" if divergence is None else divergence.check
+            for chunk in (case.name, case.source, case.input_text,
+                          case.combine_source or "", outcome):
+                sha.update(chunk.encode())
+                sha.update(b"\x00")
+            if divergence is not None:
+                if log:
+                    log(f"DIVERGENCE at case {case.name}: {divergence.check}")
+                minimized = case
+                if shrink:
+                    minimized = shrink_case(case, divergence.check)
+                    if log:
+                        log(f"  minimized {len(case.source)} -> "
+                            f"{len(minimized.source)} bytes")
+                result.divergences.append((case, divergence, minimized))
+                target = DEFAULT_CORPUS if corpus_dir is None \
+                    else Path(corpus_dir)
+                entry = persist_divergence(target, minimized, divergence)
+                if log:
+                    log(f"  persisted to {entry}")
+            elif log and (index + 1) % 50 == 0:
+                log(f"{index + 1}/{count} cases, all conforming")
+    finally:
+        if pool is not None:
+            # An early stop abandons the already-queued tail instead of
+            # draining it (close() would wait for every queued case).
+            if stopped_early:
+                pool.terminate()
+            else:
+                pool.close()
     result.elapsed = time.monotonic() - start
     result.digest = sha.hexdigest()
     return result

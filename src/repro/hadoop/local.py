@@ -24,15 +24,16 @@ from ..gpu.device import GpuDevice
 from ..kvstore import Partitioner
 from ..kvstore.coerce import kv_line, parse_kv_line, utf8_len
 from ..obs import trace as obs
+from ..parallel.pool import list_schedule_makespan, resolve_workers
 from ..runtime.gpu_task import GpuTaskResult, GpuTaskRunner
+from .shuffle import sort_kv_run, streaming_sort_key
 
 __all__ = ["LocalJobResult", "LocalJobRunner", "parse_kv_line"]
 
-
-def _sort_key(key: Any) -> tuple[int, Any]:
-    if isinstance(key, (int, float)):
-        return (0, float(key))
-    return (1, str(key))
+# Backwards-compatible alias; the shared definition (and the
+# decorate-sort that avoids calling it O(n log n) times) lives in
+# hadoop.shuffle.
+_sort_key = streaming_sort_key
 
 
 @dataclass
@@ -45,12 +46,38 @@ class LocalJobResult:
     cpu_task_timings: list[CpuTaskTiming] = field(default_factory=list)
     map_output_pairs: int = 0
     shuffle_bytes: int = 0
+    #: Worker processes the map phase ran on (1 = serial).
+    workers: int = 1
+
+    def task_seconds(self) -> list[float]:
+        """Per-map-task simulated seconds, in task-index order."""
+        return [r.seconds for r in self.gpu_task_results] + [
+            t.total for t in self.cpu_task_timings
+        ]
 
     @property
     def total_map_seconds(self) -> float:
+        """Summed per-task map seconds (total device/core *work*).
+
+        This is the Fig. 6-style resource-consumption figure and is
+        independent of ``workers`` — N tasks cost the same work whether
+        they overlapped or not. For the wall-clock-equivalent duration
+        of the map phase, use :attr:`map_critical_path_seconds`.
+        """
         return sum(r.seconds for r in self.gpu_task_results) + sum(
             t.total for t in self.cpu_task_timings
         )
+
+    def critical_path_seconds(self, workers: int) -> float:
+        """Map-phase makespan if tasks ran on ``workers`` slots (greedy
+        in-order list schedule, the pool's own dispatch order)."""
+        return list_schedule_makespan(self.task_seconds(), workers)
+
+    @property
+    def map_critical_path_seconds(self) -> float:
+        """Wall-clock-equivalent map-phase seconds at this run's
+        ``workers`` (equals :attr:`total_map_seconds` when serial)."""
+        return self.critical_path_seconds(self.workers)
 
 
 class LocalJobRunner:
@@ -71,6 +98,12 @@ class LocalJobRunner:
     gpu_engine:
         GPU lane engine name (``"compiled"``/``"tree"``), or None for
         the process default.
+    workers:
+        Worker processes for the map phase. None defers to the
+        ``REPRO_WORKERS`` environment variable (default 1 = serial); 0
+        means one worker per CPU core. Parallel runs produce
+        byte-identical output, counters, and simulated seconds — see
+        :mod:`repro.parallel`.
     """
 
     def __init__(
@@ -82,6 +115,7 @@ class LocalJobRunner:
         num_reducers: int | None = None,
         split_bytes: int = 64 * 1024,
         gpu_engine: str | None = None,
+        workers: int | None = None,
     ):
         self.app = app
         self.cluster = cluster
@@ -94,6 +128,7 @@ class LocalJobRunner:
         )
         self.split_bytes = split_bytes
         self.gpu_engine = gpu_engine
+        self.workers = workers
         self.io = IoModel.for_cluster(cluster)
         self.partitioner = Partitioner(max(self.num_reducers, 1))
         if not use_gpu:
@@ -156,7 +191,8 @@ class LocalJobRunner:
         }
 
     def _run_cpu_map_task(
-        self, split: bytes, result: LocalJobResult
+        self, split: bytes, result: LocalJobResult,
+        task_index: int | None = None,
     ) -> dict[int, list[tuple[Any, Any, str]]]:
         text = split.decode("utf-8", errors="replace")
         map_out, map_counters = self.app.cpu_map(text)
@@ -171,7 +207,7 @@ class LocalJobRunner:
         combine_counters = None
         output_bytes = 0
         for part, kvs in parts.items():
-            kvs.sort(key=lambda kv: _sort_key(kv[0]))
+            kvs = sort_kv_run(kvs)
             if self.app.has_combiner:
                 text_in = "".join(kv_line(k, v) for k, v in kvs)
                 out, counters = self.app.cpu_combine(text_in)
@@ -203,15 +239,23 @@ class LocalJobRunner:
 
         rec = obs.active()
         if rec.enabled:
-            self._record_cpu_task_trace(rec, timing, len(split), len(pairs))
+            self._record_cpu_task_trace(rec, timing, len(split), len(pairs),
+                                        task_index)
         return combined
 
     def _record_cpu_task_trace(self, rec: obs.TraceRecorder,
                                timing: CpuTaskTiming, split_bytes: int,
-                               map_pairs: int) -> None:
-        """One CPU task span tiled by its Fig. 6-style phase children."""
+                               map_pairs: int,
+                               task_index: int | None = None) -> None:
+        """One CPU task span tiled by its Fig. 6-style phase children.
+
+        ``task_index`` defaults to this process's running task count;
+        pool workers pass the job-wide index so spliced traces number
+        tasks as the serial run would.
+        """
         pid, tid = "cpu-streaming", "tasks"
-        index = int(rec.metrics.count("cpu.tasks"))
+        index = task_index if task_index is not None \
+            else int(rec.metrics.count("cpu.tasks"))
         task = rec.begin(
             f"cpu-task#{index} {self.app.name}", "cpu-task", pid, tid,
             args={"split_bytes": split_bytes, "map_pairs": map_pairs},
@@ -235,31 +279,44 @@ class LocalJobRunner:
         result = LocalJobResult()
         splits = self.make_splits(input_text)
         result.map_tasks = len(splits)
-        device = GpuDevice(self.cluster.gpu) if self.use_gpu else None
-        gpu_runner = self._make_gpu_runner(device) if self.use_gpu else None
+        nworkers = resolve_workers(self.workers, tasks=len(splits))
+        result.workers = nworkers
 
         rec = obs.active()
         job_span = None
         if rec.enabled:
+            span_args = {
+                "cluster": self.cluster.name,
+                "path": "gpu" if self.use_gpu else "cpu",
+                "map_tasks": len(splits),
+                "reducers": self.num_reducers,
+            }
+            if nworkers > 1:  # serial spans stay byte-identical
+                span_args["workers"] = nworkers
             job_span = rec.begin(
                 f"job {self.app.name}", "job", "local-job", "driver",
-                args={
-                    "cluster": self.cluster.name,
-                    "path": "gpu" if self.use_gpu else "cpu",
-                    "map_tasks": len(splits),
-                    "reducers": self.num_reducers,
-                },
+                args=span_args,
             )
 
         # Map phase → shuffle inputs grouped by reduce partition. Each
         # entry carries its one-time streaming rendering (see the map
         # task helpers), reused below instead of re-encoding.
         shuffle: dict[int, list[tuple[Any, Any, str]]] = defaultdict(list)
-        for split in splits:
-            if self.use_gpu:
-                parts = self._run_gpu_map_task(split, gpu_runner, result)
-            else:
-                parts = self._run_cpu_map_task(split, result)
+        if nworkers > 1:
+            parts_per_task = self._run_map_phase_parallel(
+                splits, nworkers, result, rec
+            )
+        else:
+            device = GpuDevice(self.cluster.gpu) if self.use_gpu else None
+            gpu_runner = self._make_gpu_runner(device) if self.use_gpu \
+                else None
+            parts_per_task = (
+                self._run_gpu_map_task(split, gpu_runner, result)
+                if self.use_gpu
+                else self._run_cpu_map_task(split, result)
+                for split in splits
+            )
+        for parts in parts_per_task:
             for part, kvs in parts.items():
                 shuffle[part].extend(kvs)
                 result.shuffle_bytes += sum(utf8_len(t[2]) for t in kvs)
@@ -270,7 +327,7 @@ class LocalJobRunner:
         output: dict[Any, Any] = {}
         use_minic = self.app.reduce_source is not None
         for part in sorted(shuffle):
-            kvs = sorted(shuffle[part], key=lambda kv: _sort_key(kv[0]))
+            kvs = sort_kv_run(shuffle[part])
             if use_minic:
                 text_in = "".join(t[2] for t in kvs)
                 out_text, _counters = self.app.cpu_reduce(text_in)
@@ -291,19 +348,61 @@ class LocalJobRunner:
         result.output = output
 
         if rec.enabled and job_span is not None:
+            # The job span covers the map phase's wall-clock-equivalent
+            # duration: with one worker that is the task-seconds sum
+            # (bit-identical to the pre-parallel behaviour); with N it
+            # is the overlapped critical path.
+            map_end = job_span.ts + result.map_critical_path_seconds
             rec.counter(
                 "shuffle", "local-job",
                 {"bytes": result.shuffle_bytes,
                  "pairs": result.map_output_pairs},
-                ts=job_span.ts + result.total_map_seconds,
+                ts=map_end,
             )
             rec.inc("shuffle.bytes", result.shuffle_bytes)
             rec.inc("job.map_output_pairs", result.map_output_pairs)
             rec.inc("jobs")
             rec.end(
                 job_span,
-                ts=job_span.ts + result.total_map_seconds,
+                ts=map_end,
                 args={"output_keys": len(output),
                       "shuffle_bytes": result.shuffle_bytes},
             )
         return result
+
+    def _run_map_phase_parallel(self, splits: list[bytes], nworkers: int,
+                                result: LocalJobResult,
+                                rec: Any) -> list[dict]:
+        """Fan the map phase across a worker pool and fold the envelopes
+        exactly as the serial loop would have.
+
+        Envelopes arrive in task-index order (the pool guarantees it),
+        so every accumulation below — task-result lists, pair counts,
+        float timing sums, shuffle extension order — replays the serial
+        fold and the job result is byte-identical to ``workers=1``.
+        """
+        from ..parallel.maptask import run_map_tasks
+
+        envelopes = run_map_tasks(self, splits, nworkers)
+        parts_per_task: list[dict] = []
+        for envelope in envelopes:
+            if envelope.gpu_result is not None:
+                task = envelope.gpu_result
+                result.gpu_task_results.append(task)
+                result.map_output_pairs += task.emitted_pairs
+                parts = {
+                    part: [(k, v, kv_line(k, v)) for k, v in kvs]
+                    for part, kvs in task.partition_output.items()
+                }
+            else:
+                assert envelope.cpu_timing is not None
+                result.cpu_task_timings.append(envelope.cpu_timing)
+                result.map_output_pairs += envelope.map_pairs
+                parts = envelope.parts or {}
+            parts_per_task.append(parts)
+            if rec.enabled and envelope.events is not None:
+                rec.splice(envelope.events,
+                           pid_suffix=f"@w{envelope.worker_pid}")
+                if envelope.metrics is not None:
+                    rec.metrics.merge(envelope.metrics)
+        return parts_per_task

@@ -18,11 +18,43 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Any, Iterable, TypeVar
 
 from ..config import ClusterConfig
 from ..costmodel.io import IoModel
 from ..errors import ConfigError
 from .job import JobConf
+
+_KV = TypeVar("_KV", bound=tuple)
+
+
+def streaming_sort_key(key: Any) -> tuple[int, Any]:
+    """Hadoop Streaming's shuffle ordering for one key.
+
+    Numeric keys sort before text keys, numerically; everything else
+    sorts by its string rendering. Shared by the map-side per-partition
+    sort, the reduce-side merge, and calibration replays — the three
+    must agree or reducers see differently-grouped runs.
+    """
+    if isinstance(key, (int, float)):
+        return (0, float(key))
+    return (1, str(key))
+
+
+def sort_kv_run(items: Iterable[_KV]) -> list[_KV]:
+    """Sort a run of KV records (``(key, ...)`` tuples) by streaming key
+    order, stably.
+
+    Decorate-sort-undecorate: ``streaming_sort_key`` runs once per
+    record (not O(n log n) times), and the enumeration index both breaks
+    ties — preserving the stable arrival order ``list.sort(key=...)``
+    gave the previous inline lambdas — and keeps the comparison from
+    ever reaching the record payload.
+    """
+    decorated = [(streaming_sort_key(item[0]), i, item)
+                 for i, item in enumerate(items)]
+    decorated.sort()
+    return [item for _key, _i, item in decorated]
 
 #: Fraction of total map output still unfetched when the last map ends
 #: (the final map wave; earlier waves shuffled concurrently with maps).

@@ -21,6 +21,7 @@ from ..apps.base import Application
 from ..errors import HadoopError
 from ..minic import cast as A
 from ..minic.interpreter import ExecCounters, run_filter
+from .shuffle import sort_kv_run
 
 
 def format_kv(pairs: list[tuple[Any, Any]]) -> str:
@@ -55,12 +56,6 @@ class StreamingFilter:
         return parse_kv(self(format_kv(pairs)))
 
 
-def _sort_key(key: Any) -> tuple[int, Any]:
-    if isinstance(key, (int, float)):
-        return (0, float(key))
-    return (1, str(key))
-
-
 @dataclass
 class StreamingPipeline:
     """The user-code side of one CPU map task: map filter over the raw
@@ -90,7 +85,7 @@ class StreamingPipeline:
             partitions.setdefault(partition_of(key), []).append((key, value))
         out: dict[int, list[tuple[Any, Any]]] = {}
         for part, kvs in partitions.items():
-            kvs.sort(key=lambda kv: _sort_key(kv[0]))
+            kvs = sort_kv_run(kvs)
             if self.combiner is not None:
                 out[part] = self.combiner.run_kv(kvs)
             else:

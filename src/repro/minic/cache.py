@@ -130,6 +130,22 @@ def strlit_buffers(program: A.Program) -> dict[int, Any]:
     return cache
 
 
+def warm_program(program: A.Program) -> CompiledProgram:
+    """Eagerly build the artifacts a job needs from ``program``.
+
+    The per-worker warmup hook of the parallel layer: a pool worker
+    calls this once per distinct program per job so the first map task
+    does not pay compile latency (closures don't cross the process
+    boundary — sources do, and recompile here). Covers the compiled
+    program and the string-literal Buffer table; translations and kernel
+    bodies warm through :func:`cached_translation` /
+    :func:`compiled_kernel_body` at their own call sites.
+    """
+    cp = compiled_program(program)
+    strlit_buffers(program)
+    return cp
+
+
 def cached_translation(
     program: A.Program,
     opt_key: tuple,

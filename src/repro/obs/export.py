@@ -40,6 +40,11 @@ class TraceSchemaError(ReproError):
     """A trace failed schema validation."""
 
 
+#: Substring marking a pid as a spliced pool-worker track
+#: (``<pid>@w<os-pid>`` — see repro.hadoop.local's parallel merge).
+WORKER_PID_MARKER = "@w"
+
+
 def _us(seconds: float) -> float:
     """Simulated seconds → trace microseconds (ns-resolution grid)."""
     return round(seconds * 1e6, 3)
@@ -62,6 +67,16 @@ def export_chrome(recorder: TraceRecorder,
                 "name": "process_name", "ph": "M", "pid": pids[pid_name],
                 "tid": 0, "args": {"name": pid_name},
             })
+            if WORKER_PID_MARKER in pid_name:
+                # Spliced worker tracks (see TraceRecorder.splice) sort
+                # below the parent's own tracks in the viewer. Only
+                # parallel runs have such pids, so serial exports —
+                # including the golden traces — are byte-unchanged.
+                events.append({
+                    "name": "process_sort_index", "ph": "M",
+                    "pid": pids[pid_name], "tid": 0,
+                    "args": {"sort_index": 100 + pids[pid_name]},
+                })
         key = (pid_name, tid_name)
         if key not in tids:
             tids[key] = sum(1 for p, _t in tids if p == pid_name) + 1

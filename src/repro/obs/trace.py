@@ -260,6 +260,57 @@ class TraceRecorder:
         self.events.append(event)
         return event
 
+    # -- cross-process merge -------------------------------------------------
+
+    def splice(self, events: list[SpanEvent | InstantEvent | CounterEvent],
+               pid_suffix: str = "") -> None:
+        """Merge events recorded by another (per-worker) recorder.
+
+        Worker recorders start their clocks at 0 for every task, so each
+        spliced track is *rebased*: the first time a source track appears
+        in this call, its base becomes the destination track's current
+        cursor, and every event from that source track shifts by that
+        base. Relative timing within a track is preserved, so spans that
+        nested (or were disjoint) at the source still nest (or stay
+        disjoint) at the destination — the per-track invariants the span
+        checker enforces survive the merge. ``pid_suffix`` maps worker
+        tracks onto distinct destination pids (e.g. ``"@w1234"`` for the
+        worker with OS pid 1234) so the Chrome export shows true
+        process-level overlap.
+        """
+        bases: dict[tuple[str, str], float] = {}
+        for event in events:
+            pid = event.pid + pid_suffix
+            tid = event.tid if not isinstance(event, CounterEvent) else ""
+            src = (event.pid, event.tid if not isinstance(event, CounterEvent)
+                   else "")
+            key = self._track(pid, tid or "counters")
+            if src not in bases:
+                bases[src] = self._cursor[key]
+            base = bases[src]
+            if isinstance(event, SpanEvent):
+                if event.dur is None:
+                    raise ReproError(
+                        f"cannot splice open span {event.name!r}"
+                    )
+                copied = SpanEvent(
+                    name=event.name, cat=event.cat, pid=pid, tid=tid,
+                    ts=base + event.ts, dur=event.dur,
+                    args=dict(event.args), wall_dur=event.wall_dur,
+                )
+                self.events.append(copied)
+                self._advance(key, copied.ts + copied.dur)
+            elif isinstance(event, InstantEvent):
+                self.events.append(InstantEvent(
+                    name=event.name, cat=event.cat, pid=pid, tid=tid,
+                    ts=base + event.ts, args=dict(event.args),
+                ))
+            else:
+                self.events.append(CounterEvent(
+                    name=event.name, pid=pid, ts=base + event.ts,
+                    values=dict(event.values),
+                ))
+
     # -- metrics passthrough -------------------------------------------------
 
     def inc(self, name: str, n: float = 1.0) -> None:

@@ -1,0 +1,29 @@
+"""Multi-core map-task execution (paper §5's one-slot-per-core model).
+
+HeteroDoop's TaskTrackers run one map task per CPU core concurrently
+(plus the reserved GPU slot); this package gives the functional runner
+the same property: a TaskPool (:mod:`repro.parallel.pool`) fans map
+tasks, GPU splits, and fuzz cases across worker processes, and the
+job-level plumbing (:mod:`repro.parallel.maptask`) keeps the parallel
+run **byte-identical** to the serial one — same output, same counters,
+same simulated seconds — by rebuilding caches per worker and merging
+results in task-index order.
+"""
+
+from .pool import (
+    ProcessPool,
+    SerialPool,
+    in_worker,
+    list_schedule_makespan,
+    resolve_workers,
+    task_pool,
+)
+
+__all__ = [
+    "ProcessPool",
+    "SerialPool",
+    "in_worker",
+    "list_schedule_makespan",
+    "resolve_workers",
+    "task_pool",
+]

@@ -1,0 +1,302 @@
+"""Map tasks as pool work items: job specs, warmup, and envelopes.
+
+A worker cannot be handed a live :class:`~repro.hadoop.local.
+LocalJobRunner` or :class:`~repro.runtime.gpu_task.GpuTaskRunner` —
+their hot state (compiled mini-C closures, kernel bodies, host
+snapshots) is closure-based and does not pickle. What crosses the
+process boundary instead:
+
+* down: a frozen *job spec* carrying only sources and plain-dataclass
+  configuration. The per-worker initializer rebuilds the runner from it
+  and **warms** the program/translation/kernel caches once per worker
+  per job, so no task pays compile latency. (Under the default ``fork``
+  start method the parent's caches arrive copy-on-write and warmup is a
+  cheap cache hit; under ``spawn`` it does the real work.)
+* up: a compact :class:`MapTaskEnvelope` per task — partitioned triples
+  or the :class:`GpuTaskResult`, the timing dataclass, and (when the
+  parent traces) the worker recorder's events and metrics.
+
+The parent consumes envelopes **in task-index order** (the pool already
+returns them that way) and folds them exactly as the serial loop would
+have, which is what makes ``workers=N`` byte-identical to serial.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, TYPE_CHECKING
+
+from ..apps.base import Application
+from ..config import ClusterConfig, GpuSpec, OptimizationFlags
+from ..costmodel.cpu import CpuTaskTiming
+from ..costmodel.io import IoModel
+from ..errors import ReproError
+from ..obs import trace as obs
+from .pool import resolve_workers, task_pool
+
+if TYPE_CHECKING:  # runtime import would be circular (local.py uses us)
+    from ..hadoop.local import LocalJobRunner
+    from ..runtime.gpu_task import GpuTaskResult, GpuTaskRunner
+
+__all__ = [
+    "GpuJobSpec",
+    "MapJobSpec",
+    "MapTaskEnvelope",
+    "run_gpu_tasks",
+    "run_map_tasks",
+]
+
+
+@dataclass(frozen=True)
+class MapJobSpec:
+    """Everything a worker needs to rebuild one job's map-side runner."""
+
+    app: Application
+    cluster: ClusterConfig
+    use_gpu: bool
+    opt: OptimizationFlags
+    num_reducers: int
+    split_bytes: int
+    gpu_engine: str          # resolved name — ambient defaults don't ship
+    minic_backend: str
+    trace: bool
+
+
+@dataclass
+class MapTaskEnvelope:
+    """One map task's result, shipped worker → parent.
+
+    ``parts`` carries the CPU path's partition → ``(key, value, line)``
+    triples; the GPU path ships the full :class:`GpuTaskResult` instead
+    (the parent derives triples from its partition output, exactly as
+    the serial GPU task helper does).
+    """
+
+    index: int
+    worker_pid: int
+    map_pairs: int
+    parts: dict[int, list[tuple[Any, Any, str]]] | None = None
+    cpu_timing: CpuTaskTiming | None = None
+    gpu_result: "GpuTaskResult | None" = None
+    events: list | None = None
+    metrics: Any | None = None
+
+
+@dataclass(frozen=True)
+class GpuJobSpec:
+    """Rebuild recipe for a standalone :class:`GpuTaskRunner`.
+
+    Ships program *sources* plus the exact translation key (opt flags,
+    map_only) so the worker's ``translate_cached`` resolves to the same
+    artifact the parent holds — a cache hit under ``fork``, a fresh but
+    identical build under ``spawn``.
+    """
+
+    map_source: str
+    combine_source: str | None
+    opt: OptimizationFlags
+    map_only: bool
+    gpu: GpuSpec
+    io: IoModel
+    num_reducers: int
+    replication: int
+    min_gpu_mem: int
+    engine: str
+    trace: bool
+
+
+# Worker-global runner state, rebuilt by the initializer once per worker
+# per job. Module-level (not closure-captured) because pool task
+# functions must be importable top-level callables.
+_map_state: dict[str, Any] = {}
+_gpu_state: dict[str, Any] = {}
+
+
+def _warm_app(app: Application, opt: OptimizationFlags,
+              use_gpu: bool) -> None:
+    """Populate this process's mini-C caches for one application."""
+    from ..minic.cache import warm_program
+
+    warm_program(app.map_program())
+    combine = app.combine_program()
+    if combine is not None:
+        warm_program(combine)
+    reduce_prog = app.reduce_program()
+    if reduce_prog is not None:
+        # Workers never reduce, but warming is cheap and keeps the
+        # worker's cache state a superset of what any task touches.
+        warm_program(reduce_prog)
+    if use_gpu:
+        app.translate_map(opt)
+        app.translate_combine(opt)
+
+
+def _init_map_worker(spec: MapJobSpec) -> None:
+    from ..gpu.device import GpuDevice
+    from ..hadoop.local import LocalJobRunner
+    from ..minic.interpreter import set_default_backend
+
+    set_default_backend(spec.minic_backend)
+    _warm_app(spec.app, spec.opt, spec.use_gpu)
+    runner = LocalJobRunner(
+        spec.app,
+        cluster=spec.cluster,
+        use_gpu=spec.use_gpu,
+        opt=spec.opt,
+        num_reducers=spec.num_reducers,
+        split_bytes=spec.split_bytes,
+        gpu_engine=spec.gpu_engine,
+        workers=1,
+    )
+    gpu_runner = None
+    if spec.use_gpu:
+        gpu_runner = runner._make_gpu_runner(GpuDevice(spec.cluster.gpu))
+        gpu_runner.map_snapshot()
+        if gpu_runner.combine_tr is not None:
+            gpu_runner.combine_snapshot()
+    _map_state["spec"] = spec
+    _map_state["runner"] = runner
+    _map_state["gpu_runner"] = gpu_runner
+
+
+def _run_map_task(payload: tuple[int, bytes]) -> MapTaskEnvelope:
+    from ..hadoop.local import LocalJobResult
+
+    index, split = payload
+    spec: MapJobSpec = _map_state["spec"]
+    runner: "LocalJobRunner" = _map_state["runner"]
+    rec = obs.TraceRecorder() if spec.trace else None
+    previous = obs.install(rec) if rec is not None else None
+    try:
+        scratch = LocalJobResult()
+        if spec.use_gpu:
+            gpu_runner: "GpuTaskRunner" = _map_state["gpu_runner"]
+            task = gpu_runner.run(split, task_index=index)
+            envelope = MapTaskEnvelope(
+                index=index, worker_pid=os.getpid(),
+                map_pairs=task.emitted_pairs, gpu_result=task,
+            )
+        else:
+            parts = runner._run_cpu_map_task(split, scratch,
+                                             task_index=index)
+            envelope = MapTaskEnvelope(
+                index=index, worker_pid=os.getpid(),
+                map_pairs=scratch.map_output_pairs, parts=parts,
+                cpu_timing=scratch.cpu_task_timings[0],
+            )
+    finally:
+        if rec is not None:
+            obs.install(previous)
+    if rec is not None:
+        if rec.open_spans():
+            raise ReproError("map task left spans open in worker recorder")
+        envelope.events = rec.events
+        envelope.metrics = rec.metrics
+    return envelope
+
+
+def run_map_tasks(runner: "LocalJobRunner", splits: list[bytes],
+                  workers: int) -> list[MapTaskEnvelope]:
+    """Fan a job's splits across ``workers`` processes; envelopes come
+    back in task-index order."""
+    from ..gpu.engine import default_gpu_engine
+    from ..minic.interpreter import default_backend
+
+    spec = MapJobSpec(
+        app=runner.app,
+        cluster=runner.cluster,
+        use_gpu=runner.use_gpu,
+        opt=runner.opt,
+        num_reducers=runner.num_reducers,
+        split_bytes=runner.split_bytes,
+        gpu_engine=runner.gpu_engine or default_gpu_engine(),
+        minic_backend=default_backend(),
+        trace=bool(obs.active().enabled),
+    )
+    payloads = list(enumerate(splits))
+    with task_pool(workers, initializer=_init_map_worker,
+                   initargs=(spec,)) as pool:
+        return pool.map_tasks(_run_map_task, payloads)
+
+
+# -- standalone GpuTaskRunner fan-out ---------------------------------------
+
+
+def _init_gpu_worker(spec: GpuJobSpec) -> None:
+    from ..compiler import translate_cached
+    from ..gpu.device import GpuDevice
+    from ..minic.cache import warm_program
+    from ..runtime.gpu_task import GpuTaskRunner
+    from ..apps.base import _parse_cached
+
+    map_program = _parse_cached(spec.map_source)
+    warm_program(map_program)
+    map_tr = translate_cached(map_program, opt=spec.opt,
+                              map_only=spec.map_only)
+    combine_tr = None
+    if spec.combine_source is not None:
+        combine_program = _parse_cached(spec.combine_source)
+        warm_program(combine_program)
+        combine_tr = translate_cached(combine_program, opt=spec.opt)
+    runner = GpuTaskRunner(
+        map_tr, combine_tr, GpuDevice(spec.gpu), spec.io,
+        num_reducers=spec.num_reducers, replication=spec.replication,
+        min_gpu_mem=spec.min_gpu_mem, engine=spec.engine,
+    )
+    runner.map_snapshot()
+    if combine_tr is not None:
+        runner.combine_snapshot()
+    _gpu_state["spec"] = spec
+    _gpu_state["runner"] = runner
+
+
+def _run_gpu_split(payload: tuple[int, bytes, bool]) -> "GpuTaskResult":
+    index, split, data_local = payload
+    spec: GpuJobSpec = _gpu_state["spec"]
+    runner: "GpuTaskRunner" = _gpu_state["runner"]
+    rec = obs.TraceRecorder() if spec.trace else None
+    previous = obs.install(rec) if rec is not None else None
+    try:
+        return runner.run(split, data_local=data_local, task_index=index)
+    finally:
+        if rec is not None:
+            obs.install(previous)
+
+
+def run_gpu_tasks(runner: "GpuTaskRunner", splits: list[bytes],
+                  workers: int | None = None,
+                  data_local: bool = True) -> "list[GpuTaskResult]":
+    """:meth:`GpuTaskRunner.run_many`'s engine — serial loop at one
+    worker, pool fan-out above that, results in split order either way.
+
+    Parallel runs drop per-task trace spans (the standalone runner has
+    no parent merge point; :class:`~repro.hadoop.local.LocalJobRunner`'s
+    parallel path is the one that splices worker traces).
+    """
+    nworkers = resolve_workers(workers, tasks=len(splits))
+    if nworkers <= 1:
+        return [runner.run(split, data_local=data_local)
+                for split in splits]
+    kernel = runner.map_tr.map_kernel
+    assert kernel is not None
+    from ..gpu.engine import default_gpu_engine
+
+    spec = GpuJobSpec(
+        map_source=runner.map_tr.program.source,
+        combine_source=(runner.combine_tr.program.source
+                        if runner.combine_tr is not None else None),
+        opt=kernel.opt,
+        map_only=runner.map_only,
+        gpu=runner.device.spec,
+        io=runner.io,
+        num_reducers=runner.num_reducers,
+        replication=runner.replication,
+        min_gpu_mem=runner.min_gpu_mem,
+        engine=runner.engine or default_gpu_engine(),
+        trace=False,
+    )
+    payloads = [(i, split, data_local) for i, split in enumerate(splits)]
+    with task_pool(nworkers, initializer=_init_gpu_worker,
+                   initargs=(spec,)) as pool:
+        return pool.map_tasks(_run_gpu_split, payloads)

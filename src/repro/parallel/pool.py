@@ -1,0 +1,239 @@
+"""Worker pools: serial and process-backed task execution.
+
+The parallel layer fans independent tasks (map tasks, GPU splits, fuzz
+cases) across ``workers`` OS processes and merges results back in task
+order, so a parallel run is observably identical to the serial one.
+Three rules keep that equivalence honest:
+
+* **Deterministic merge** — pools return results in submission order
+  (``map_tasks``) or yield them in submission order (``imap_tasks``),
+  never in completion order. A caller that folds results left-to-right
+  reproduces the serial fold bit for bit, including float accumulation
+  order.
+* **Leaf workers** — a worker process never creates its own pool.
+  :func:`resolve_workers` answers 1 inside a worker regardless of the
+  ``REPRO_WORKERS`` environment or explicit ``workers=`` arguments, so
+  nested parallelism (a fuzz worker running a parallel job) degrades to
+  the serial path instead of fork-bombing the host.
+* **Explicit warmup** — every pool takes an ``initializer`` that runs
+  once per worker before any task. Call sites use it to rebuild the
+  mini-C program/translation/kernel caches (closures don't pickle;
+  sources and IR do, and recompile on first touch). Under the ``fork``
+  start method the warmup is nearly free — workers inherit the parent's
+  caches copy-on-write — but it is what makes a cold ``spawn`` worker
+  correct too.
+
+Workers default to the ``fork`` start method (this reproduction targets
+Linux), which also inherits ambient engine selections (the mini-C
+backend and GPU lane engine defaults active at pool creation). Call
+sites still pass resolved engine names through their job specs so a
+``spawn`` fallback behaves identically.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+import os
+from typing import Any, Callable, Iterable, Iterator
+
+from ..errors import ConfigError
+
+__all__ = [
+    "ProcessPool",
+    "SerialPool",
+    "in_worker",
+    "list_schedule_makespan",
+    "resolve_workers",
+    "task_pool",
+]
+
+#: Environment knob: default worker count for every parallel-capable
+#: entry point (``0`` means one worker per CPU core).
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: True in pool worker processes (set by the bootstrap); guards against
+#: nested pools.
+_in_worker = False
+
+
+def in_worker() -> bool:
+    """Is this process a pool worker? (Workers never nest pools.)"""
+    return _in_worker
+
+
+def resolve_workers(workers: int | None = None,
+                    tasks: int | None = None) -> int:
+    """The effective worker count for one parallel phase.
+
+    Precedence: explicit ``workers`` argument, then the
+    ``REPRO_WORKERS`` environment variable, then 1 (serial). A value of
+    0 (either source) means ``os.cpu_count()``. ``tasks`` caps the
+    answer at the number of available tasks — a single-split job stays
+    serial no matter what was requested. Inside a pool worker the answer
+    is always 1.
+    """
+    if _in_worker:
+        return 1
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        if raw:
+            try:
+                workers = int(raw)
+            except ValueError:
+                raise ConfigError(
+                    f"{WORKERS_ENV}={raw!r} is not an integer"
+                ) from None
+        else:
+            workers = 1
+    if workers < 0:
+        raise ConfigError(f"workers must be >= 0, got {workers}")
+    if workers == 0:
+        workers = os.cpu_count() or 1
+    if tasks is not None:
+        workers = min(workers, max(tasks, 1))
+    return max(workers, 1)
+
+
+def list_schedule_makespan(durations: Iterable[float], workers: int) -> float:
+    """Makespan of the deterministic in-order list schedule.
+
+    Task ``i`` is assigned to the worker that frees up earliest (ties
+    broken by lowest worker index) — the classic greedy schedule, and
+    exactly how a pool with ``chunksize=1`` drains an ordered queue when
+    task costs are uniform enough. This is the *wall-clock-equivalent*
+    simulated duration of a parallel map phase; with ``workers <= 1``
+    the accumulation order degenerates to ``sum()``'s left-to-right
+    fold, bit for bit.
+    """
+    if workers <= 1:
+        total = 0.0
+        for d in durations:
+            total += d
+        return total
+    free = [(0.0, i) for i in range(workers)]  # sorted ⇒ already a heap
+    busiest = 0.0
+    for d in durations:
+        t, i = heapq.heappop(free)
+        t += d
+        if t > busiest:
+            busiest = t
+        heapq.heappush(free, (t, i))
+    return busiest
+
+
+class SerialPool:
+    """In-process pool: runs the initializer and every task directly.
+
+    The degenerate TaskPool implementation behind ``workers=1`` call
+    sites that still want the pool API (e.g.
+    :meth:`repro.runtime.gpu_task.GpuTaskRunner.run_many`). Task
+    functions and envelopes behave exactly as they would in a worker,
+    minus the process boundary.
+    """
+
+    workers = 1
+
+    def __init__(self, initializer: Callable[..., None] | None = None,
+                 initargs: tuple = ()):
+        if initializer is not None:
+            initializer(*initargs)
+
+    def map_tasks(self, fn: Callable[[Any], Any],
+                  payloads: Iterable[Any]) -> list[Any]:
+        return [fn(p) for p in payloads]
+
+    def imap_tasks(self, fn: Callable[[Any], Any],
+                   payloads: Iterable[Any]) -> Iterator[Any]:
+        return (fn(p) for p in payloads)
+
+    def close(self) -> None:
+        return None
+
+    def terminate(self) -> None:
+        return None
+
+    def __enter__(self) -> "SerialPool":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.close()
+
+
+def _bootstrap_worker(initializer: Callable[..., None] | None,
+                      initargs: tuple) -> None:
+    """Per-worker setup, before any warmup or task runs."""
+    global _in_worker
+    _in_worker = True
+    # Belt and braces for code that reads the env directly: a worker is
+    # a leaf and must never fan out again.
+    os.environ[WORKERS_ENV] = "1"
+    # A forked worker inherits the parent's *active* TraceRecorder;
+    # recording into it from another process would interleave garbage.
+    # Workers trace into their own per-task recorders (see maptask).
+    from ..obs import trace as obs
+
+    obs.install(obs.NULL_RECORDER)
+    if initializer is not None:
+        initializer(*initargs)
+
+
+class ProcessPool:
+    """``multiprocessing``-backed pool with ordered result delivery.
+
+    ``chunksize=1`` keeps scheduling greedy (any free worker takes the
+    next task — the load-balancing the paper gets from per-slot task
+    assignment, §5); result order is still submission order, which is
+    what makes the parent's merge deterministic.
+    """
+
+    def __init__(self, workers: int,
+                 initializer: Callable[..., None] | None = None,
+                 initargs: tuple = ()):
+        if workers < 2:
+            raise ConfigError(f"ProcessPool needs >= 2 workers, got {workers}")
+        methods = multiprocessing.get_all_start_methods()
+        method = "fork" if "fork" in methods else "spawn"
+        ctx = multiprocessing.get_context(method)
+        self.workers = workers
+        self.start_method = method
+        self._pool = ctx.Pool(
+            processes=workers,
+            initializer=_bootstrap_worker,
+            initargs=(initializer, initargs),
+        )
+
+    def map_tasks(self, fn: Callable[[Any], Any],
+                  payloads: Iterable[Any]) -> list[Any]:
+        return self._pool.map(fn, payloads, chunksize=1)
+
+    def imap_tasks(self, fn: Callable[[Any], Any],
+                   payloads: Iterable[Any]) -> Iterator[Any]:
+        return self._pool.imap(fn, payloads, chunksize=1)
+
+    def close(self) -> None:
+        self._pool.close()
+        self._pool.join()
+
+    def terminate(self) -> None:
+        self._pool.terminate()
+        self._pool.join()
+
+    def __enter__(self) -> "ProcessPool":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.terminate()
+
+
+def task_pool(workers: int,
+              initializer: Callable[..., None] | None = None,
+              initargs: tuple = ()) -> SerialPool | ProcessPool:
+    """The TaskPool for ``workers`` — serial below 2, process-backed
+    otherwise."""
+    if workers <= 1:
+        return SerialPool(initializer=initializer, initargs=initargs)
+    return ProcessPool(workers, initializer=initializer, initargs=initargs)

@@ -199,7 +199,12 @@ class GpuTaskRunner:
 
     # -- pipeline -------------------------------------------------------------
 
-    def run(self, split: bytes, data_local: bool = True) -> GpuTaskResult:
+    def run(self, split: bytes, data_local: bool = True,
+            task_index: int | None = None) -> GpuTaskResult:
+        """Run one split. ``task_index`` names the task in trace spans
+        (defaults to this process's running ``gpu.tasks`` count; pool
+        workers pass the job-wide index so spliced parent traces number
+        tasks the way the serial run does)."""
         kernel = self.map_tr.map_kernel
         assert kernel is not None
         device = self.device
@@ -339,12 +344,28 @@ class GpuTaskRunner:
 
         rec = obs.active()
         if rec.enabled:
-            self._record_task_trace(rec, result)
+            self._record_task_trace(rec, result, task_index)
 
         return result
 
+    def run_many(self, splits: list[bytes], workers: int | None = None,
+                 data_local: bool = True) -> list[GpuTaskResult]:
+        """Run several splits, optionally fanned across pool workers.
+
+        Results come back in split order with per-task timing identical
+        to a serial loop (the simulated device is stateless across
+        tasks: every allocation is freed before the next task starts, so
+        a fresh per-worker device charges the same seconds as a shared
+        one). ``workers=None`` resolves via ``REPRO_WORKERS``.
+        """
+        from ..parallel.maptask import run_gpu_tasks
+
+        return run_gpu_tasks(self, splits, workers=workers,
+                             data_local=data_local)
+
     def _record_task_trace(self, rec: obs.TraceRecorder,
-                           result: GpuTaskResult) -> None:
+                           result: GpuTaskResult,
+                           task_index: int | None = None) -> None:
         """One task span with a phase child per Fig. 6 category.
 
         Spans live on the simulated-seconds cursor of the device's
@@ -357,7 +378,8 @@ class GpuTaskRunner:
         tid = "tasks"
         kernel = self.map_tr.map_kernel
         assert kernel is not None
-        index = int(rec.metrics.count("gpu.tasks"))
+        index = task_index if task_index is not None \
+            else int(rec.metrics.count("gpu.tasks"))
         task = rec.begin(
             f"gpu-task#{index} {kernel.name}", "gpu-task",
             pid, tid,

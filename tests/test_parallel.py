@@ -1,0 +1,347 @@
+"""Parallel map-task execution: pool mechanics and serial equivalence.
+
+The contract under test is the one ``repro.parallel`` documents: a job
+run with ``workers=N`` is *observably identical* to the serial run —
+same output dict, same per-task simulated seconds (in task order), same
+counters — with only wall-clock and the reported ``workers``/critical
+path differing. The differential sweep below checks that for every
+Table 2 app on both execution paths at 2 and 4 workers.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import obs
+from repro.apps import all_apps, get_app
+from repro.config import CLUSTER1
+from repro.errors import ConfigError
+from repro.fuzz.runner import run_campaign
+from repro.gpu.device import GpuDevice
+from repro.hadoop.local import LocalJobRunner
+from repro.obs.export import WORKER_PID_MARKER
+from repro.parallel import (
+    ProcessPool,
+    SerialPool,
+    in_worker,
+    list_schedule_makespan,
+    resolve_workers,
+    task_pool,
+)
+from repro.parallel.pool import WORKERS_ENV
+from repro.runtime.gpu_task import GpuTaskRunner
+
+from .span_invariants import assert_standard_invariants
+
+APP_TAGS = [app.short for app in all_apps()]
+
+#: Input sizes matching the golden-trace sweep (generation is the cheap
+#: part; these keep each job small while still yielding several splits).
+RECORDS = {
+    "GR": 200, "WC": 200, "HS": 200, "HR": 200,
+    "LR": 100, "KM": 60, "CL": 80, "BS": 30,
+}
+
+
+# -- worker-count resolution ------------------------------------------------
+
+
+class TestResolveWorkers:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers() == 1
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "7")
+        assert resolve_workers(3) == 3
+
+    def test_env_applies_when_unspecified(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "4")
+        assert resolve_workers() == 4
+
+    def test_zero_means_cpu_count(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers(0) == (os.cpu_count() or 1)
+        monkeypatch.setenv(WORKERS_ENV, "0")
+        assert resolve_workers() == (os.cpu_count() or 1)
+
+    def test_task_count_caps_fanout(self):
+        assert resolve_workers(8, tasks=3) == 3
+        assert resolve_workers(8, tasks=1) == 1
+        assert resolve_workers(2, tasks=0) == 1  # degenerate: no tasks
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            resolve_workers(-1)
+
+    def test_garbage_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "lots")
+        with pytest.raises(ConfigError):
+            resolve_workers()
+        monkeypatch.setenv(WORKERS_ENV, "-2")
+        with pytest.raises(ConfigError):
+            resolve_workers()
+
+
+class TestListScheduleMakespan:
+    def test_serial_is_bitwise_sum(self):
+        # The job span's end uses the critical path; at one worker it
+        # must reproduce the historical sum() fold *bit for bit* or the
+        # golden traces would shift.
+        durations = [0.1, 0.2, 0.30000000000000004, 1e-9, 7.25]
+        assert list_schedule_makespan(durations, 1) == sum(durations)
+        assert list_schedule_makespan(durations, 0) == sum(durations)
+
+    def test_greedy_two_workers(self):
+        # w0 takes 3; w1 takes 1,1,1 → both finish at 3.
+        assert list_schedule_makespan([3.0, 1.0, 1.0, 1.0], 2) == 3.0
+
+    def test_more_workers_than_tasks(self):
+        assert list_schedule_makespan([2.0, 5.0, 1.0], 8) == 5.0
+
+    def test_empty(self):
+        assert list_schedule_makespan([], 4) == 0.0
+
+    def test_monotone_in_workers(self):
+        durations = [0.3, 0.1, 0.8, 0.2, 0.5, 0.4]
+        spans = [list_schedule_makespan(durations, w) for w in (1, 2, 3, 6)]
+        assert spans == sorted(spans, reverse=True)
+        assert spans[-1] == max(durations)
+
+
+# -- pools ------------------------------------------------------------------
+
+
+def _square(x):
+    return x * x
+
+
+def _probe(_x):
+    """What a pool task observes about its own process."""
+    return (os.getpid(), in_worker(), resolve_workers(8),
+            os.environ.get(WORKERS_ENV))
+
+
+def _boom(x):
+    raise ValueError(f"task {x} failed")
+
+
+class TestPools:
+    def test_task_pool_picks_implementation(self):
+        assert isinstance(task_pool(1), SerialPool)
+        pool = task_pool(2)
+        try:
+            assert isinstance(pool, ProcessPool)
+        finally:
+            pool.terminate()
+
+    def test_process_pool_rejects_single_worker(self):
+        with pytest.raises(ConfigError):
+            ProcessPool(1)
+
+    def test_serial_pool_runs_in_process(self):
+        with SerialPool() as pool:
+            assert pool.map_tasks(_square, [1, 2, 3]) == [1, 4, 9]
+            assert list(pool.imap_tasks(_square, [4])) == [16]
+            pid, worker, fanout, env = pool.map_tasks(_probe, [0])[0]
+        assert pid == os.getpid()
+        assert not worker
+
+    def test_results_arrive_in_submission_order(self):
+        with ProcessPool(2) as pool:
+            assert pool.map_tasks(_square, range(20)) == [
+                i * i for i in range(20)
+            ]
+            assert list(pool.imap_tasks(_square, range(7))) == [
+                i * i for i in range(7)
+            ]
+
+    def test_workers_are_leaves(self):
+        with ProcessPool(2) as pool:
+            probes = pool.map_tasks(_probe, range(8))
+        pids = {pid for pid, _w, _f, _e in probes}
+        assert os.getpid() not in pids
+        for _pid, worker, fanout, env in probes:
+            assert worker  # in_worker() is True inside the pool
+            assert fanout == 1  # resolve_workers(8) refuses to nest
+            assert env == "1"  # env-reading code sees serial too
+
+    def test_task_exception_propagates(self):
+        # whichever task's error surfaces first, the type and message
+        # shape cross the process boundary intact
+        with pytest.raises(ValueError, match=r"task \d failed"):
+            with ProcessPool(2) as pool:
+                pool.map_tasks(_boom, [1, 2])
+
+
+# -- serial/parallel job equivalence ----------------------------------------
+
+
+def _run_job(app, use_gpu: bool, workers: int):
+    text = app.generate(RECORDS[app.short], seed=7)
+    # ~6 splits regardless of the app's record size, so every app
+    # genuinely fans out
+    split_bytes = max(256, len(text.encode()) // 6)
+    runner = LocalJobRunner(app, use_gpu=use_gpu, split_bytes=split_bytes,
+                            workers=workers)
+    return runner.run(text)
+
+
+@pytest.mark.parametrize("short", APP_TAGS)
+@pytest.mark.parametrize("use_gpu", [False, True], ids=["cpu", "gpu"])
+def test_parallel_job_identical_to_serial(short, use_gpu):
+    app = get_app(short)
+    serial = _run_job(app, use_gpu, workers=1)
+    assert serial.map_tasks >= 2, "need fan-out to exercise the pool"
+    assert serial.workers == 1
+    for workers in (2, 4):
+        par = _run_job(app, use_gpu, workers=workers)
+        assert par.workers == min(workers, serial.map_tasks)
+        assert par.output == serial.output
+        assert par.map_tasks == serial.map_tasks
+        assert par.map_output_pairs == serial.map_output_pairs
+        assert par.shuffle_bytes == serial.shuffle_bytes
+        # simulated per-task seconds are equal as exact floats, in order
+        assert par.task_seconds() == serial.task_seconds()
+        assert par.total_map_seconds == serial.total_map_seconds
+
+
+@pytest.mark.parametrize("use_gpu", [False, True], ids=["cpu", "gpu"])
+def test_parallel_counters_match_serial(use_gpu):
+    app = get_app("WC")
+    snapshots = []
+    for workers in (1, 2):
+        with obs.use_recorder(obs.TraceRecorder()) as rec:
+            _run_job(app, use_gpu, workers=workers)
+        snapshots.append(rec.metrics.snapshot())
+    serial, par = snapshots
+    assert par["counters"] == serial["counters"]
+    assert set(par["gauges"]) == set(serial["gauges"])
+
+
+def test_env_workers_reaches_the_job_runner(monkeypatch):
+    monkeypatch.setenv(WORKERS_ENV, "2")
+    app = get_app("WC")
+    text = app.generate(150, seed=7)
+    result = LocalJobRunner(app, split_bytes=2 * 1024).run(text)
+    assert result.workers == 2
+
+
+def test_single_split_job_stays_serial():
+    app = get_app("WC")
+    text = app.generate(40, seed=7)
+    result = LocalJobRunner(app, workers=4).run(text)  # default 32 KiB split
+    assert result.map_tasks == 1
+    assert result.workers == 1
+
+
+# -- critical path vs total work --------------------------------------------
+
+
+def test_critical_path_and_total_work_semantics():
+    app = get_app("WC")
+    serial = _run_job(app, use_gpu=False, workers=1)
+    par = _run_job(app, use_gpu=False, workers=4)
+    # total_map_seconds is summed *work*: invariant under fan-out, and
+    # bitwise-equal to the 1-worker critical path.
+    assert par.total_map_seconds == serial.total_map_seconds
+    assert serial.map_critical_path_seconds == serial.total_map_seconds
+    # at 4 workers the makespan shrinks but never below the longest task
+    assert par.map_critical_path_seconds < par.total_map_seconds
+    assert par.map_critical_path_seconds >= max(par.task_seconds())
+    assert par.map_critical_path_seconds == list_schedule_makespan(
+        par.task_seconds(), 4
+    )
+    assert par.critical_path_seconds(1) == par.total_map_seconds
+
+
+# -- trace splicing ---------------------------------------------------------
+
+
+def test_parallel_trace_merges_worker_tracks():
+    app = get_app("WC")
+    text = app.generate(400, seed=7)
+    with obs.use_recorder(obs.TraceRecorder()) as rec:
+        result = LocalJobRunner(app, use_gpu=True, split_bytes=1024,
+                                workers=3).run(text)
+    assert result.workers == 3
+    assert result.map_tasks >= 8
+    assert_standard_invariants(rec)
+
+    worker_pids = {s.pid for s in rec.spans() if WORKER_PID_MARKER in s.pid}
+    assert 2 <= len(worker_pids) <= 3  # distinct per-worker tracks
+    task_spans = rec.spans("gpu-task")
+    assert len(task_spans) == result.map_tasks
+    assert {s.pid for s in task_spans} == worker_pids
+
+    trace = obs.export_chrome(rec)
+    assert obs.validate_trace(trace) == []
+    sort_meta = [e for e in trace["traceEvents"]
+                 if e.get("name") == "process_sort_index"]
+    assert len(sort_meta) == len(worker_pids)
+
+
+def test_serial_trace_has_no_worker_tracks():
+    app = get_app("WC")
+    text = app.generate(200, seed=7)
+    with obs.use_recorder(obs.TraceRecorder()) as rec:
+        LocalJobRunner(app, use_gpu=True, split_bytes=2 * 1024,
+                       workers=1).run(text)
+    assert all(WORKER_PID_MARKER not in s.pid for s in rec.spans())
+    trace = obs.export_chrome(rec)
+    assert not any(e.get("name") == "process_sort_index"
+                   for e in trace["traceEvents"])
+
+
+# -- standalone GPU runner fan-out ------------------------------------------
+
+
+def _wc_gpu_runner(cluster1_io):
+    app = get_app("WC")
+    return GpuTaskRunner(app.translate_map(), app.translate_combine(),
+                         GpuDevice(CLUSTER1.gpu), cluster1_io,
+                         num_reducers=4)
+
+
+def test_run_many_matches_serial_runs(cluster1_io):
+    app = get_app("WC")
+    data = app.generate(240, seed=3).encode()
+    splits = [data[i:i + 2048] for i in range(0, len(data), 2048)]
+    assert len(splits) >= 3
+    serial_runner = _wc_gpu_runner(cluster1_io)
+    serial = [serial_runner.run(s) for s in splits]
+    par = _wc_gpu_runner(cluster1_io).run_many(splits, workers=2)
+    assert len(par) == len(serial)
+    for a, b in zip(par, serial):
+        assert a.seconds == b.seconds
+        assert a.emitted_pairs == b.emitted_pairs
+        assert a.output_pairs == b.output_pairs
+        assert a.partition_output == b.partition_output
+
+
+def test_run_many_serial_path_is_default(cluster1_io, monkeypatch):
+    monkeypatch.delenv(WORKERS_ENV, raising=False)
+    app = get_app("WC")
+    data = app.generate(80, seed=3).encode()
+    splits = [data[i:i + 2048] for i in range(0, len(data), 2048)]
+    runner = _wc_gpu_runner(cluster1_io)
+    results = runner.run_many(splits)
+    assert [r.seconds for r in results] == [
+        r.seconds for r in _wc_gpu_runner(cluster1_io).run_many(
+            splits, workers=1)
+    ]
+
+
+# -- fuzz campaign driver ---------------------------------------------------
+
+
+def test_fuzz_digest_is_worker_count_invariant(tmp_path):
+    serial = run_campaign(seed=3, count=6, shrink=False,
+                          corpus_dir=tmp_path / "serial", workers=1)
+    par = run_campaign(seed=3, count=6, shrink=False,
+                       corpus_dir=tmp_path / "par", workers=2)
+    assert serial.executed == par.executed == 6
+    assert par.digest == serial.digest
+    assert par.kind_counts == serial.kind_counts

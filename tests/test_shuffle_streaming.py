@@ -1,0 +1,203 @@
+"""Direct unit coverage for ``hadoop.shuffle`` and ``hadoop.streaming``.
+
+Both modules were previously exercised only through whole-job runs;
+these tests pin their contracts in isolation: the shared streaming sort
+order (one definition now serves the map-side sort, the reduce merge,
+and calibration replays), the analytic reduce-phase model, and the
+filter/pipeline wrappers around mini-C programs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import get_app
+from repro.config import CLUSTER1
+from repro.costmodel.io import IoModel
+from repro.errors import HadoopError
+from repro.hadoop.job import JobConf
+from repro.hadoop.shuffle import (
+    estimate_reduce_phase,
+    sort_kv_run,
+    streaming_sort_key,
+)
+from repro.hadoop.streaming import (
+    StreamingFilter,
+    StreamingPipeline,
+    format_kv,
+    parse_kv,
+)
+
+
+# -- streaming sort order ---------------------------------------------------
+
+
+class TestStreamingSortKey:
+    def test_numbers_sort_before_text(self):
+        assert streaming_sort_key(99) < streaming_sort_key("0")
+        assert streaming_sort_key(2.5) < streaming_sort_key("apple")
+
+    def test_numbers_compare_numerically(self):
+        assert streaming_sort_key(9) < streaming_sort_key(10)
+        assert streaming_sort_key(9.5) < streaming_sort_key(10)
+
+    def test_int_and_float_share_one_ordering(self):
+        assert streaming_sort_key(3) == streaming_sort_key(3.0)
+
+    def test_text_compares_lexicographically(self):
+        # string digits are *text*: "10" < "9" byte-wise, as in Hadoop
+        # Streaming's default byte comparator
+        assert streaming_sort_key("10") < streaming_sort_key("9")
+        assert streaming_sort_key("bar") < streaming_sort_key("foo")
+
+
+class _Opaque:
+    """A payload value that refuses ordering — the sort must never
+    reach it."""
+
+    def __lt__(self, other):  # pragma: no cover - the point is no call
+        raise TypeError("payload compared")
+
+    __gt__ = __le__ = __ge__ = __lt__
+
+
+class TestSortKvRun:
+    def test_orders_by_streaming_key(self):
+        run = [("b", 1), (3, 2), ("a", 3), (1.5, 4)]
+        assert sort_kv_run(run) == [(1.5, 4), (3, 2), ("a", 3), ("b", 1)]
+
+    def test_stable_for_equal_keys(self):
+        run = [("k", i) for i in range(10)] + [("a", -1)]
+        out = sort_kv_run(run)
+        assert out[0] == ("a", -1)
+        assert out[1:] == [("k", i) for i in range(10)]
+
+    def test_never_compares_payloads(self):
+        # ties on the key must be broken by arrival order, not by
+        # falling through to the record payload
+        run = [("same", _Opaque()), ("same", _Opaque())]
+        assert sort_kv_run(run) == run
+
+    def test_accepts_wider_tuples_and_iterables(self):
+        triples = iter([("b", 2, "b\t2\n"), ("a", 1, "a\t1\n")])
+        assert sort_kv_run(triples) == [("a", 1, "a\t1\n"), ("b", 2, "b\t2\n")]
+
+    def test_empty(self):
+        assert sort_kv_run([]) == []
+
+
+# -- reduce-phase model -----------------------------------------------------
+
+
+def _job(**overrides) -> JobConf:
+    conf = dict(name="t", num_map_tasks=8, num_reduce_tasks=4,
+                cluster=CLUSTER1)
+    conf.update(overrides)
+    return JobConf(**conf)
+
+
+class TestEstimateReducePhase:
+    def test_map_only_job_costs_nothing(self):
+        est = estimate_reduce_phase(_job(num_reduce_tasks=0),
+                                    IoModel.for_cluster(CLUSTER1))
+        assert est.total == 0.0
+
+    def test_total_sums_components(self):
+        est = estimate_reduce_phase(_job(), IoModel.for_cluster(CLUSTER1))
+        assert est.total == pytest.approx(
+            est.shuffle_seconds + est.merge_seconds
+            + est.reduce_seconds + est.write_seconds
+        )
+        assert est.shuffle_seconds > 0 and est.write_seconds > 0
+
+    def test_extra_reduce_waves_scale_the_phase(self):
+        io = IoModel.for_cluster(CLUSTER1)
+        slots = CLUSTER1.num_slaves * CLUSTER1.max_reduce_slots_per_node
+        one_wave = estimate_reduce_phase(_job(num_reduce_tasks=slots), io)
+        two_waves = estimate_reduce_phase(
+            _job(num_reduce_tasks=slots + 1), io
+        )
+        assert two_waves.reduce_seconds == pytest.approx(
+            2 * _job().reduce_compute_seconds
+        )
+        assert two_waves.total > one_wave.total
+
+    def test_more_maps_deepen_the_merge(self):
+        io = IoModel.for_cluster(CLUSTER1)
+        # same total map output, split across more runs → deeper merge
+        shallow = estimate_reduce_phase(
+            _job(num_map_tasks=4, map_output_bytes=16 * 1024 * 1024), io
+        )
+        deep = estimate_reduce_phase(
+            _job(num_map_tasks=64, map_output_bytes=1024 * 1024), io
+        )
+        assert deep.merge_seconds > shallow.merge_seconds
+
+
+# -- streaming wire format --------------------------------------------------
+
+
+class TestKvWire:
+    def test_round_trip(self):
+        pairs = [("word", 3), (7, 1.5), ("k", "v")]
+        assert parse_kv(format_kv(pairs)) == [("word", 3), (7, 1.5),
+                                              ("k", "v")]
+
+    def test_empty_text(self):
+        assert parse_kv("") == []
+        assert format_kv([]) == ""
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(HadoopError):
+            parse_kv("no-tab-here\n")
+
+
+# -- filters and the map-task pipeline --------------------------------------
+
+
+class TestStreamingFilter:
+    def test_accumulates_counters_across_invocations(self):
+        app = get_app("WC")
+        f = StreamingFilter(app.map_program(), name="wc-map")
+        out1 = f("hello world\n")
+        out2 = f("hello again\n")
+        assert f.invocations == 2
+        assert parse_kv(out1) == [("hello", 1), ("world", 1)]
+        assert parse_kv(out2) == [("hello", 1), ("again", 1)]
+        once = StreamingFilter(app.map_program())
+        once("hello world\n")
+        assert f.total_counters.ops > once.total_counters.ops
+
+    def test_run_kv_feeds_pairs_through(self):
+        app = get_app("WC")
+        combiner = StreamingFilter(app.combine_program(), name="wc-combine")
+        out = combiner.run_kv([("a", 1), ("a", 1), ("b", 1)])
+        assert out == [("a", 2), ("b", 1)]
+
+
+class TestStreamingPipeline:
+    def test_for_app_wires_both_filters(self):
+        pipeline = StreamingPipeline.for_app(get_app("WC"))
+        assert pipeline.mapper.name == "WC-map"
+        assert pipeline.combiner is not None
+        assert pipeline.combine_counters is not None
+
+    def test_run_split_partitions_sorts_and_combines(self):
+        pipeline = StreamingPipeline.for_app(get_app("WC"))
+        out = pipeline.run_split(
+            "b a b\nc a b\n", partition_of=lambda key: len(key) % 2
+        )
+        merged = {k: v for part in out.values() for k, v in part}
+        assert merged == {"a": 2, "b": 3, "c": 1}
+        for part, pairs in out.items():
+            keys = [k for k, _v in pairs]
+            assert keys == sorted(keys, key=streaming_sort_key)
+            assert all(len(k) % 2 == part for k in keys)
+        assert pipeline.map_counters.ops > 0
+
+    def test_run_split_without_combiner_keeps_duplicates(self):
+        pipeline = StreamingPipeline.for_app(get_app("WC"))
+        pipeline.combiner = None
+        out = pipeline.run_split("a a\n", partition_of=lambda key: 0)
+        assert out == {0: [("a", 1), ("a", 1)]}
+        assert pipeline.combine_counters is None
