@@ -89,6 +89,10 @@ def _reference(split_text: str) -> dict[Any, Any]:
     return prices
 
 
+def _generate(records: int, seed: int) -> str:
+    return datagen.option_chain(records, seed)
+
+
 BLACKSCHOLES = AppRegistry.register(
     Application(
         name="blackscholes",
@@ -100,7 +104,7 @@ BLACKSCHOLES = AppRegistry.register(
         pct_map_combine_active=100,
         cluster1=ClusterFigures(reduce_tasks=0, map_tasks=3600, input_gb=890),
         cluster2=ClusterFigures(reduce_tasks=0, map_tasks=5120, input_gb=210),
-        generate=lambda records, seed: datagen.option_chain(records, seed),
+        generate=_generate,
         reference=_reference,
         record_skew=1.0,
     )

@@ -95,6 +95,10 @@ def _reduce(key: Any, values: list[Any]) -> list[tuple[Any, Any]]:
     return [(key, sum(int(v) for v in values))]
 
 
+def _generate(records: int, seed: int) -> str:
+    return datagen.point_cloud(records, seed, clusters=K)
+
+
 CLASSIFICATION = AppRegistry.register(
     Application(
         name="classification",
@@ -107,7 +111,7 @@ CLASSIFICATION = AppRegistry.register(
         pct_map_combine_active=92,
         cluster1=ClusterFigures(reduce_tasks=16, map_tasks=4800, input_gb=923),
         cluster2=ClusterFigures(reduce_tasks=16, map_tasks=3200, input_gb=72),
-        generate=lambda records, seed: datagen.point_cloud(records, seed, clusters=K),
+        generate=_generate,
         reference=_reference,
         record_skew=1.1,
     )

@@ -65,6 +65,10 @@ def _reduce(key: Any, values: list[Any]) -> list[tuple[Any, Any]]:
     return [(key, sum(int(v) for v in values))]
 
 
+def _generate(records: int, seed: int) -> str:
+    return datagen.movie_ratings(records, seed)
+
+
 HISTMOVIES = AppRegistry.register(
     Application(
         name="histmovies",
@@ -77,7 +81,7 @@ HISTMOVIES = AppRegistry.register(
         pct_map_combine_active=91,
         cluster1=ClusterFigures(reduce_tasks=8, map_tasks=4800, input_gb=1190),
         cluster2=ClusterFigures(reduce_tasks=8, map_tasks=640, input_gb=159),
-        generate=lambda records, seed: datagen.movie_ratings(records, seed),
+        generate=_generate,
         reference=_reference,
         record_skew=4.0,
     )

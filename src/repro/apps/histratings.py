@@ -57,6 +57,10 @@ def _reduce(key: Any, values: list[Any]) -> list[tuple[Any, Any]]:
     return [(key, sum(int(v) for v in values))]
 
 
+def _generate(records: int, seed: int) -> str:
+    return datagen.movie_ratings(records, seed)
+
+
 HISTRATINGS = AppRegistry.register(
     Application(
         name="histratings",
@@ -69,7 +73,7 @@ HISTRATINGS = AppRegistry.register(
         pct_map_combine_active=92,
         cluster1=ClusterFigures(reduce_tasks=5, map_tasks=4800, input_gb=591),
         cluster2=ClusterFigures(reduce_tasks=5, map_tasks=2560, input_gb=160),
-        generate=lambda records, seed: datagen.movie_ratings(records, seed),
+        generate=_generate,
         reference=_reference,
         record_skew=4.0,
     )

@@ -111,6 +111,10 @@ def _reduce(key: Any, values: list[Any]) -> list[tuple[Any, Any]]:
     return [(key, total)]
 
 
+def _generate(records: int, seed: int) -> str:
+    return datagen.point_stream(records, seed)
+
+
 KMEANS = AppRegistry.register(
     Application(
         name="kmeans",
@@ -124,7 +128,7 @@ KMEANS = AppRegistry.register(
         cluster1=ClusterFigures(reduce_tasks=16, map_tasks=4800, input_gb=923),
         cluster2=ClusterFigures(reduce_tasks=16, map_tasks=None, input_gb=None),
         min_gpu_mem=8 * GB,            # exceeds an M2090 (6 GB): NA on Cluster2
-        generate=lambda records, seed: datagen.point_stream(records, seed),
+        generate=_generate,
         reference=_reference,
         record_skew=5.0,
     )

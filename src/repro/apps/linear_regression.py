@@ -86,6 +86,10 @@ def _reduce(key: Any, values: list[Any]) -> list[tuple[Any, Any]]:
     return [(key, sum(float(v) for v in values))]
 
 
+def _generate(records: int, seed: int) -> str:
+    return datagen.regression_rows(records, seed, regressors=REGRESSORS)
+
+
 LINEAR_REGRESSION = AppRegistry.register(
     Application(
         name="linear_regression",
@@ -98,9 +102,7 @@ LINEAR_REGRESSION = AppRegistry.register(
         pct_map_combine_active=86,
         cluster1=ClusterFigures(reduce_tasks=16, map_tasks=2560, input_gb=714),
         cluster2=ClusterFigures(reduce_tasks=16, map_tasks=3840, input_gb=356),
-        generate=lambda records, seed: datagen.regression_rows(
-            records, seed, regressors=REGRESSORS
-        ),
+        generate=_generate,
         reference=_reference,
         record_skew=1.0,
     )

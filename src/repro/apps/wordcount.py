@@ -49,6 +49,10 @@ def _reduce(key: Any, values: list[Any]) -> list[tuple[Any, Any]]:
     return [(key, sum(int(v) for v in values))]
 
 
+def _generate(records: int, seed: int) -> str:
+    return datagen.zipf_text(records, seed)
+
+
 WORDCOUNT = AppRegistry.register(
     Application(
         name="wordcount",
@@ -61,7 +65,7 @@ WORDCOUNT = AppRegistry.register(
         pct_map_combine_active=91,
         cluster1=ClusterFigures(reduce_tasks=48, map_tasks=5760, input_gb=844),
         cluster2=ClusterFigures(reduce_tasks=32, map_tasks=1024, input_gb=151),
-        generate=lambda records, seed: datagen.zipf_text(records, seed),
+        generate=_generate,
         reference=_reference,
         record_skew=1.6,
     )

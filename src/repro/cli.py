@@ -222,32 +222,40 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         raise ReproError("--out needs a single --path; "
                          "use --json to write the canonical reports")
     apps = args.apps or list(bench.DEFAULT_APPS)
-    if args.workers is not None and args.workers < 2:
-        raise ReproError("bench --workers must be >= 2")
-    worker_steps = bench._DEFAULT_WORKER_STEPS if args.workers is None \
-        else tuple(sorted({1, 2, args.workers}))
+    if args.workers is None:
+        worker_steps = bench._DEFAULT_WORKER_STEPS
+    else:
+        from .parallel.pool import resolve_workers
+
+        top = resolve_workers(args.workers)
+        if top < 2:
+            raise ReproError("bench --workers must resolve to >= 2")
+        worker_steps = tuple(sorted({1, 2, top}))
     rc = 0
     reports: dict[str, dict] = {}
     for path in paths:
         if path == "parallel":
             report = bench.run_parallel_bench(
                 apps, records=args.records, repeat=args.repeat,
-                seed=args.seed, worker_steps=worker_steps)
+                seed=args.seed, worker_steps=worker_steps,
+                tier=args.tier)
         else:
             run = bench.run_bench if path == "cpu" else bench.run_gpu_bench
             report = run(apps, records=args.records, repeat=args.repeat,
                          seed=args.seed)
         reports[path] = report
         if not args.json and path == "parallel":
-            print(f"[{path} path]")
+            print(f"[{path} path, host_cpus={report['host_cpus']}]")
             for r in report["results"]:
                 steps = "  ".join(
-                    f"w={c['workers']} cp {c['critical_path_seconds']:.4f}s"
-                    + (f" sim {c['sim_speedup']:.2f}x"
+                    f"w={c['workers']} wall {c['wall_seconds']:.3f}s"
+                    + (f" ({c['wall_speedup']}x wall, "
+                       f"{c['sim_speedup']:.2f}x sim)"
                        if c["workers"] > 1 else "")
                     for c in r["configs"]
                 )
-                print(f"{r['app']:4s} {r['records']:6d} records  "
+                print(f"{r['app']:4s} {r.get('tier', 'seed'):6s} "
+                      f"{r['records']:7d} records  "
                       f"{r['map_tasks']:3d} maps  {steps}")
         elif not args.json:
             print(f"[{path} path]")
@@ -268,6 +276,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                       f"{args.min_speedup}: {', '.join(slow)}",
                       file=sys.stderr)
                 rc = 1
+        if args.min_wall_speedup is not None and path == "parallel":
+            slow = bench.check_min_wall_speedup(report,
+                                                args.min_wall_speedup)
+            if slow:
+                print(f"error: {path} path below --min-wall-speedup: "
+                      f"{', '.join(slow)}", file=sys.stderr)
+                rc = 1
         if args.baseline is not None:
             drifted = bench.check_against_baseline(report, args.baseline,
                                                    args.tolerance)
@@ -280,6 +295,45 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         payload = reports[paths[0]] if len(paths) == 1 else reports
         print(json.dumps(payload, indent=2))
     return rc
+
+
+def _cmd_pool(args: argparse.Namespace) -> int:
+    """Inspect or drive this process's persistent daemon pool.
+
+    The pool is per-process: ``status`` after ``warm`` in the same
+    invocation shows live workers, while a fresh invocation starts
+    empty — the command exists for long-lived sessions (and as the
+    smoke test for the pool lifecycle itself)."""
+    from .parallel.daemon import get_pool, pool_metrics, shutdown_pool
+    from .parallel.pool import resolve_workers
+
+    if args.action == "shutdown":
+        stopped = shutdown_pool()
+        print(f"stopped {stopped} worker(s)")
+        return 0
+    pool = get_pool()
+    if args.action == "warm":
+        from .parallel.maptask import warm_worker_caches
+
+        tags = tuple(t.upper() for t in (args.apps or ["WC"]))
+        for tag in tags:
+            get_app(tag)  # validate before forking anything
+        nworkers = resolve_workers(args.workers)
+        pids = pool.broadcast(warm_worker_caches, (tags,), workers=nworkers)
+        print(f"warmed {len(pids)} worker(s) for {' '.join(tags)}: "
+              f"pids {' '.join(str(p) for p in sorted(pids))}")
+    status = pool.status()
+    print(f"start method : {status.start_method}")
+    print(f"idle timeout : {status.idle_timeout:.0f}s"
+          + (" (reaping disabled)" if status.idle_timeout == 0 else ""))
+    print(f"worker slots : {status.slots}")
+    print(f"alive        : {' '.join(str(p) for p in status.alive) or '-'}")
+    counters = pool_metrics().snapshot()["counters"]
+    if counters:
+        print("lifecycle counters:")
+        for name in sorted(counters):
+            print(f"  {name:16s} {counters[name]:10.0f}")
+    return 0
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
@@ -343,6 +397,22 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_workers_option(parser: argparse.ArgumentParser,
+                        detail: str = "") -> None:
+    """The one ``--workers`` flag every parallel-capable command shares.
+
+    A single definition keeps the default chain (explicit flag →
+    ``$REPRO_WORKERS`` → serial; 0 = one per core) identical across
+    ``run``/``trace``/``stats``/``bench``/``fuzz``/``pool`` instead of
+    five drifting copies.
+    """
+    help_text = ("worker processes (default: $REPRO_WORKERS or 1; "
+                 "0 = one per CPU core)")
+    if detail:
+        help_text += f"; {detail}"
+    parser.add_argument("--workers", type=int, default=None, help=help_text)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -371,9 +441,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="use the Hadoop Streaming CPU path")
     p.add_argument("--split-kb", type=int, default=32)
     p.add_argument("--show", type=int, default=8)
-    p.add_argument("--workers", type=int, default=None,
-                   help="map-phase worker processes (default: "
-                        "$REPRO_WORKERS or 1; 0 = one per CPU core)")
+    _add_workers_option(p, "fans the map phase across the daemon pool")
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser("simulate", help="cluster-scale job simulation")
@@ -410,9 +478,8 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--task-scale", type=float, default=0.02,
                        help="fraction of the paper's map-task count "
                             "(simulate mode)")
-        p.add_argument("--workers", type=int, default=None,
-                       help="map-phase worker processes (local mode; "
-                            "worker spans land on per-worker pid tracks)")
+        _add_workers_option(p, "local mode; worker spans land on "
+                               "per-worker pid tracks")
         if cmd == "trace":
             p.add_argument("-o", "--out", default=None,
                            help="write the trace here (default: stdout)")
@@ -445,9 +512,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tolerance", type=float, default=0.05,
                    help="relative drift allowed by --baseline "
                         "(default 0.05)")
-    p.add_argument("--workers", type=int, default=None,
-                   help="highest worker count for --path parallel "
-                        "(steps become 1,2,N; default steps 1,2,4)")
+    p.add_argument("--tier", choices=("seed", "scaled", "both"),
+                   default="seed",
+                   help="--path parallel input scale: seed = small "
+                        "golden-trace inputs, scaled = 100k-record-class "
+                        "inputs where wall-clock wins show")
+    p.add_argument("--min-wall-speedup", type=float, default=None,
+                   help="--path parallel: exit nonzero if the measured "
+                        "wall-clock speedup at the highest worker count "
+                        "is below this (run on a multi-core host)")
+    _add_workers_option(p, "--path parallel: worker steps become 1,2,N "
+                           "(default steps 1,2,4)")
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("fuzz", help="differential conformance fuzzing "
@@ -468,10 +543,20 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: tests/fuzz_corpus/)")
     p.add_argument("--quiet", action="store_true",
                    help="only print the final summary line")
-    p.add_argument("--workers", type=int, default=None,
-                   help="fan cases across worker processes (digest is "
-                        "identical at any worker count)")
+    _add_workers_option(p, "fans cases across the daemon pool (digest "
+                           "is identical at any worker count)")
     p.set_defaults(func=_cmd_fuzz)
+
+    p = sub.add_parser("pool", help="inspect or drive this process's "
+                                    "persistent daemon worker pool")
+    p.add_argument("action", choices=("status", "warm", "shutdown"),
+                   help="status: print workers and lifecycle counters; "
+                        "warm: fork workers and prime their caches; "
+                        "shutdown: stop all workers")
+    p.add_argument("--apps", nargs="*", metavar="TAG",
+                   help="apps to warm caches for (default: WC)")
+    _add_workers_option(p, "pool size for warm")
+    p.set_defaults(func=_cmd_pool)
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument("name", help="table1|table2|table3|fig3|fig4a|fig4b|"

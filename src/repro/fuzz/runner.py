@@ -23,7 +23,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
-from ..parallel.pool import resolve_workers, task_pool
+from ..parallel.daemon import get_pool
+from ..parallel.pool import resolve_workers
 from .gen import KIND_SCHEDULE, FuzzCase, generate_case
 from .oracle import Divergence, run_case
 from .shrink import shrink_case
@@ -132,8 +133,9 @@ def run_campaign(
     minimized (unless ``shrink=False``) and persisted under
     ``corpus_dir`` (default: the repo's ``tests/fuzz_corpus/``).
 
-    ``workers`` fans cases across a pool (None → ``REPRO_WORKERS``).
-    Results are consumed in case-index order and shrinking/persisting
+    ``workers`` fans cases across the persistent daemon pool (None →
+    ``REPRO_WORKERS``). Results are consumed in case-index order (the
+    pool reassembles its batches that way) and shrinking/persisting
     stays in the parent, so the campaign digest is identical at any
     worker count — the determinism witness covers the parallel driver
     too.
@@ -142,19 +144,16 @@ def run_campaign(
     sha = hashlib.sha1()
     start = time.monotonic()
     nworkers = resolve_workers(workers, tasks=count)
-    pool = task_pool(nworkers) if nworkers > 1 else None
-    if pool is not None:
+    if nworkers > 1:
         payloads = [(seed, index, kinds) for index in range(count)]
-        outcomes = pool.imap_tasks(_oracle_task, payloads)
+        outcomes = get_pool().imap_job(nworkers, _oracle_task, payloads)
     else:
         outcomes = (_oracle_task((seed, index, kinds))
                     for index in range(count))
-    stopped_early = False
     try:
         for index, (case, divergence) in enumerate(outcomes):
             if time_budget is not None and \
                     time.monotonic() - start > time_budget:
-                stopped_early = True
                 if log:
                     log(f"time budget {time_budget:.0f}s exhausted after "
                         f"{index} cases")
@@ -185,13 +184,11 @@ def run_campaign(
             elif log and (index + 1) % 50 == 0:
                 log(f"{index + 1}/{count} cases, all conforming")
     finally:
-        if pool is not None:
-            # An early stop abandons the already-queued tail instead of
-            # draining it (close() would wait for every queued case).
-            if stopped_early:
-                pool.terminate()
-            else:
-                pool.close()
+        # An early stop abandons the queued tail: the daemon pool
+        # discards the stale results and its workers stay warm for the
+        # next campaign.
+        if hasattr(outcomes, "close"):
+            outcomes.close()
     result.elapsed = time.monotonic() - start
     result.digest = sha.hexdigest()
     return result

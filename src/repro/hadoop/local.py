@@ -142,20 +142,26 @@ class LocalJobRunner:
 
     # -- input splitting ---------------------------------------------------------
 
-    def make_splits(self, input_text: str) -> list[bytes]:
-        """Split on record boundaries at ~split_bytes (LineRecordReader's
-        behaviour of never splitting a record)."""
-        data = input_text.encode("utf-8")
-        splits: list[bytes] = []
+    def split_ranges(self, data: bytes) -> list[tuple[int, int]]:
+        """Split boundaries as ``(start, stop)`` byte ranges at
+        ~split_bytes, never inside a record (LineRecordReader's
+        behaviour). Ranges — not copies — are what the parallel path
+        ships to workers; the serial loop slices them locally."""
+        ranges: list[tuple[int, int]] = []
         start = 0
         while start < len(data):
             end = min(start + self.split_bytes, len(data))
             if end < len(data):
                 nl = data.find(b"\n", end)
                 end = len(data) if nl == -1 else nl + 1
-            splits.append(data[start:end])
+            ranges.append((start, end))
             start = end
-        return splits or [b""]
+        return ranges or [(0, 0)]
+
+    def make_splits(self, input_text: str) -> list[bytes]:
+        """The split ranges materialized as byte strings."""
+        data = input_text.encode("utf-8")
+        return [data[a:b] for a, b in self.split_ranges(data)]
 
     # -- map side ------------------------------------------------------------------
 
@@ -277,9 +283,10 @@ class LocalJobRunner:
 
     def run(self, input_text: str) -> LocalJobResult:
         result = LocalJobResult()
-        splits = self.make_splits(input_text)
-        result.map_tasks = len(splits)
-        nworkers = resolve_workers(self.workers, tasks=len(splits))
+        data = input_text.encode("utf-8")
+        ranges = self.split_ranges(data)
+        result.map_tasks = len(ranges)
+        nworkers = resolve_workers(self.workers, tasks=len(ranges))
         result.workers = nworkers
 
         rec = obs.active()
@@ -288,7 +295,7 @@ class LocalJobRunner:
             span_args = {
                 "cluster": self.cluster.name,
                 "path": "gpu" if self.use_gpu else "cpu",
-                "map_tasks": len(splits),
+                "map_tasks": len(ranges),
                 "reducers": self.num_reducers,
             }
             if nworkers > 1:  # serial spans stay byte-identical
@@ -304,17 +311,17 @@ class LocalJobRunner:
         shuffle: dict[int, list[tuple[Any, Any, str]]] = defaultdict(list)
         if nworkers > 1:
             parts_per_task = self._run_map_phase_parallel(
-                splits, nworkers, result, rec
+                data, ranges, nworkers, result, rec
             )
         else:
             device = GpuDevice(self.cluster.gpu) if self.use_gpu else None
             gpu_runner = self._make_gpu_runner(device) if self.use_gpu \
                 else None
             parts_per_task = (
-                self._run_gpu_map_task(split, gpu_runner, result)
+                self._run_gpu_map_task(data[a:b], gpu_runner, result)
                 if self.use_gpu
-                else self._run_cpu_map_task(split, result)
-                for split in splits
+                else self._run_cpu_map_task(data[a:b], result)
+                for a, b in ranges
             )
         for parts in parts_per_task:
             for part, kvs in parts.items():
@@ -370,20 +377,22 @@ class LocalJobRunner:
             )
         return result
 
-    def _run_map_phase_parallel(self, splits: list[bytes], nworkers: int,
-                                result: LocalJobResult,
+    def _run_map_phase_parallel(self, data: bytes,
+                                ranges: list[tuple[int, int]],
+                                nworkers: int, result: LocalJobResult,
                                 rec: Any) -> list[dict]:
-        """Fan the map phase across a worker pool and fold the envelopes
-        exactly as the serial loop would have.
+        """Fan the map phase across the daemon pool and fold the
+        envelopes exactly as the serial loop would have.
 
-        Envelopes arrive in task-index order (the pool guarantees it),
-        so every accumulation below — task-result lists, pair counts,
-        float timing sums, shuffle extension order — replays the serial
-        fold and the job result is byte-identical to ``workers=1``.
+        Envelopes arrive in task-index order (the pool reassembles its
+        batches that way), so every accumulation below — task-result
+        lists, pair counts, float timing sums, shuffle extension order —
+        replays the serial fold and the job result is byte-identical to
+        ``workers=1``.
         """
         from ..parallel.maptask import run_map_tasks
 
-        envelopes = run_map_tasks(self, splits, nworkers)
+        envelopes = run_map_tasks(self, data, ranges, nworkers)
         parts_per_task: list[dict] = []
         for envelope in envelopes:
             if envelope.gpu_result is not None:

@@ -2,14 +2,28 @@
 
 HeteroDoop's TaskTrackers run one map task per CPU core concurrently
 (plus the reserved GPU slot); this package gives the functional runner
-the same property: a TaskPool (:mod:`repro.parallel.pool`) fans map
-tasks, GPU splits, and fuzz cases across worker processes, and the
+the same property. The persistent daemon pool
+(:mod:`repro.parallel.daemon`) forks workers once per process lifetime
+and fans map tasks, GPU splits, and fuzz cases across them in batched
+envelopes, with input bytes published through a write-once arena
+(:mod:`repro.parallel.arena`) instead of per-task pickles. The
 job-level plumbing (:mod:`repro.parallel.maptask`) keeps the parallel
 run **byte-identical** to the serial one — same output, same counters,
 same simulated seconds — by rebuilding caches per worker and merging
-results in task-index order.
+results in task-index order. :mod:`repro.parallel.pool` retains the
+one-shot SerialPool/ProcessPool primitives and the shared worker-count
+resolution.
 """
 
+from .daemon import (
+    DaemonPool,
+    PoolStatus,
+    WorkerCrashError,
+    get_pool,
+    pool_metrics,
+    resolve_batch_size,
+    shutdown_pool,
+)
 from .pool import (
     ProcessPool,
     SerialPool,
@@ -20,10 +34,17 @@ from .pool import (
 )
 
 __all__ = [
+    "DaemonPool",
+    "PoolStatus",
     "ProcessPool",
     "SerialPool",
+    "WorkerCrashError",
+    "get_pool",
     "in_worker",
     "list_schedule_makespan",
+    "pool_metrics",
+    "resolve_batch_size",
     "resolve_workers",
+    "shutdown_pool",
     "task_pool",
 ]

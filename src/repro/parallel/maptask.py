@@ -6,19 +6,23 @@ their hot state (compiled mini-C closures, kernel bodies, host
 snapshots) is closure-based and does not pickle. What crosses the
 process boundary instead:
 
-* down: a frozen *job spec* carrying only sources and plain-dataclass
-  configuration. The per-worker initializer rebuilds the runner from it
-  and **warms** the program/translation/kernel caches once per worker
-  per job, so no task pays compile latency. (Under the default ``fork``
-  start method the parent's caches arrive copy-on-write and warmup is a
-  cheap cache hit; under ``spawn`` it does the real work.)
-* up: a compact :class:`MapTaskEnvelope` per task — partitioned triples
-  or the :class:`GpuTaskResult`, the timing dataclass, and (when the
-  parent traces) the worker recorder's events and metrics.
+* down, once per job: a frozen *job spec* carrying only sources and
+  plain-dataclass configuration, plus the input arena's token
+  (:mod:`repro.parallel.arena` — the split bytes are published once and
+  never pickled per task). The per-worker job setup rebuilds the runner
+  from the spec and **warms** the program/translation/kernel caches.
+  With the persistent daemon pool the warmup is paid once per worker
+  *process lifetime* per program, not once per job — a warm worker's
+  setup is a string of cache hits.
+* down, per batch: ``(task_index, start, stop)`` range triples, several
+  per IPC round-trip (:func:`~repro.parallel.daemon.resolve_batch_size`).
+* up, per batch: compact :class:`MapTaskEnvelope` results — partitioned
+  triples or the :class:`GpuTaskResult`, the timing dataclass, and
+  (when the parent traces) the worker recorder's events and metrics.
 
-The parent consumes envelopes **in task-index order** (the pool already
-returns them that way) and folds them exactly as the serial loop would
-have, which is what makes ``workers=N`` byte-identical to serial.
+The parent consumes envelopes **in task-index order** (the daemon pool
+reassembles batches by index) and folds them exactly as the serial loop
+would have, which is what makes ``workers=N`` byte-identical to serial.
 """
 
 from __future__ import annotations
@@ -33,7 +37,9 @@ from ..costmodel.cpu import CpuTaskTiming
 from ..costmodel.io import IoModel
 from ..errors import ReproError
 from ..obs import trace as obs
-from .pool import resolve_workers, task_pool
+from .arena import SplitArena, attach_view
+from .daemon import get_pool
+from .pool import resolve_workers
 
 if TYPE_CHECKING:  # runtime import would be circular (local.py uses us)
     from ..hadoop.local import LocalJobRunner
@@ -45,6 +51,7 @@ __all__ = [
     "MapTaskEnvelope",
     "run_gpu_tasks",
     "run_map_tasks",
+    "warm_worker_caches",
 ]
 
 
@@ -89,8 +96,8 @@ class GpuJobSpec:
 
     Ships program *sources* plus the exact translation key (opt flags,
     map_only) so the worker's ``translate_cached`` resolves to the same
-    artifact the parent holds — a cache hit under ``fork``, a fresh but
-    identical build under ``spawn``.
+    artifact the parent holds — a cache hit in a warm daemon worker, a
+    fresh but identical build in a cold one.
     """
 
     map_source: str
@@ -106,7 +113,7 @@ class GpuJobSpec:
     trace: bool
 
 
-# Worker-global runner state, rebuilt by the initializer once per worker
+# Worker-global runner state, rebuilt by the job setup once per worker
 # per job. Module-level (not closure-captured) because pool task
 # functions must be importable top-level callables.
 _map_state: dict[str, Any] = {}
@@ -132,7 +139,18 @@ def _warm_app(app: Application, opt: OptimizationFlags,
         app.translate_combine(opt)
 
 
-def _init_map_worker(spec: MapJobSpec) -> None:
+def warm_worker_caches(tags: tuple[str, ...]) -> None:
+    """``repro pool warm``'s broadcast target: prime the mini-C and
+    translation caches for the named apps in this worker."""
+    from ..apps import get_app
+    from ..config import OptimizationFlags
+
+    opt = OptimizationFlags.all_on()
+    for tag in tags:
+        _warm_app(get_app(tag), opt, use_gpu=True)
+
+
+def _init_map_worker(spec: MapJobSpec, arena_token: tuple) -> None:
     from ..gpu.device import GpuDevice
     from ..hadoop.local import LocalJobRunner
     from ..minic.interpreter import set_default_backend
@@ -158,14 +176,16 @@ def _init_map_worker(spec: MapJobSpec) -> None:
     _map_state["spec"] = spec
     _map_state["runner"] = runner
     _map_state["gpu_runner"] = gpu_runner
+    _map_state["view"] = attach_view(arena_token)
 
 
-def _run_map_task(payload: tuple[int, bytes]) -> MapTaskEnvelope:
+def _run_map_task(payload: tuple[int, int, int]) -> MapTaskEnvelope:
     from ..hadoop.local import LocalJobResult
 
-    index, split = payload
+    index, start, stop = payload
     spec: MapJobSpec = _map_state["spec"]
     runner: "LocalJobRunner" = _map_state["runner"]
+    split = bytes(_map_state["view"][start:stop])
     rec = obs.TraceRecorder() if spec.trace else None
     previous = obs.install(rec) if rec is not None else None
     try:
@@ -196,10 +216,13 @@ def _run_map_task(payload: tuple[int, bytes]) -> MapTaskEnvelope:
     return envelope
 
 
-def run_map_tasks(runner: "LocalJobRunner", splits: list[bytes],
+def run_map_tasks(runner: "LocalJobRunner", data: bytes,
+                  ranges: list[tuple[int, int]],
                   workers: int) -> list[MapTaskEnvelope]:
-    """Fan a job's splits across ``workers`` processes; envelopes come
-    back in task-index order."""
+    """Fan a job's split ranges across the daemon pool; envelopes come
+    back in task-index order. ``data`` is published once through a
+    :class:`~repro.parallel.arena.SplitArena`; only range triples and
+    result envelopes are pickled."""
     from ..gpu.engine import default_gpu_engine
     from ..minic.interpreter import default_backend
 
@@ -214,16 +237,18 @@ def run_map_tasks(runner: "LocalJobRunner", splits: list[bytes],
         minic_backend=default_backend(),
         trace=bool(obs.active().enabled),
     )
-    payloads = list(enumerate(splits))
-    with task_pool(workers, initializer=_init_map_worker,
-                   initargs=(spec,)) as pool:
-        return pool.map_tasks(_run_map_task, payloads)
+    payloads = [(i, start, stop) for i, (start, stop) in enumerate(ranges)]
+    with SplitArena(data) as arena:
+        return get_pool().run_job(
+            workers, _run_map_task, payloads,
+            init_fn=_init_map_worker, init_args=(spec, arena.token),
+        )
 
 
 # -- standalone GpuTaskRunner fan-out ---------------------------------------
 
 
-def _init_gpu_worker(spec: GpuJobSpec) -> None:
+def _init_gpu_worker(spec: GpuJobSpec, arena_token: tuple) -> None:
     from ..compiler import translate_cached
     from ..gpu.device import GpuDevice
     from ..minic.cache import warm_program
@@ -249,12 +274,14 @@ def _init_gpu_worker(spec: GpuJobSpec) -> None:
         runner.combine_snapshot()
     _gpu_state["spec"] = spec
     _gpu_state["runner"] = runner
+    _gpu_state["view"] = attach_view(arena_token)
 
 
-def _run_gpu_split(payload: tuple[int, bytes, bool]) -> "GpuTaskResult":
-    index, split, data_local = payload
+def _run_gpu_split(payload: tuple[int, int, int, bool]) -> "GpuTaskResult":
+    index, start, stop, data_local = payload
     spec: GpuJobSpec = _gpu_state["spec"]
     runner: "GpuTaskRunner" = _gpu_state["runner"]
+    split = bytes(_gpu_state["view"][start:stop])
     rec = obs.TraceRecorder() if spec.trace else None
     previous = obs.install(rec) if rec is not None else None
     try:
@@ -268,7 +295,8 @@ def run_gpu_tasks(runner: "GpuTaskRunner", splits: list[bytes],
                   workers: int | None = None,
                   data_local: bool = True) -> "list[GpuTaskResult]":
     """:meth:`GpuTaskRunner.run_many`'s engine — serial loop at one
-    worker, pool fan-out above that, results in split order either way.
+    worker, daemon-pool fan-out above that, results in split order
+    either way.
 
     Parallel runs drop per-task trace spans (the standalone runner has
     no parent merge point; :class:`~repro.hadoop.local.LocalJobRunner`'s
@@ -296,7 +324,13 @@ def run_gpu_tasks(runner: "GpuTaskRunner", splits: list[bytes],
         engine=runner.engine or default_gpu_engine(),
         trace=False,
     )
-    payloads = [(i, split, data_local) for i, split in enumerate(splits)]
-    with task_pool(nworkers, initializer=_init_gpu_worker,
-                   initargs=(spec,)) as pool:
-        return pool.map_tasks(_run_gpu_split, payloads)
+    payloads = []
+    offset = 0
+    for i, split in enumerate(splits):
+        payloads.append((i, offset, offset + len(split), data_local))
+        offset += len(split)
+    with SplitArena(b"".join(splits)) as arena:
+        return get_pool().run_job(
+            nworkers, _run_gpu_split, payloads,
+            init_fn=_init_gpu_worker, init_args=(spec, arena.token),
+        )

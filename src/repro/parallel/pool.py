@@ -160,9 +160,8 @@ class SerialPool:
         self.close()
 
 
-def _bootstrap_worker(initializer: Callable[..., None] | None,
-                      initargs: tuple) -> None:
-    """Per-worker setup, before any warmup or task runs."""
+def _mark_leaf_worker() -> None:
+    """Per-worker setup shared by every pool implementation."""
     global _in_worker
     _in_worker = True
     # Belt and braces for code that reads the env directly: a worker is
@@ -174,6 +173,12 @@ def _bootstrap_worker(initializer: Callable[..., None] | None,
     from ..obs import trace as obs
 
     obs.install(obs.NULL_RECORDER)
+
+
+def _bootstrap_worker(initializer: Callable[..., None] | None,
+                      initargs: tuple) -> None:
+    """Per-worker setup, before any warmup or task runs."""
+    _mark_leaf_worker()
     if initializer is not None:
         initializer(*initargs)
 
@@ -192,8 +197,9 @@ class ProcessPool:
                  initargs: tuple = ()):
         if workers < 2:
             raise ConfigError(f"ProcessPool needs >= 2 workers, got {workers}")
-        methods = multiprocessing.get_all_start_methods()
-        method = "fork" if "fork" in methods else "spawn"
+        from .daemon import resolve_start_method
+
+        method = resolve_start_method()
         ctx = multiprocessing.get_context(method)
         self.workers = workers
         self.start_method = method

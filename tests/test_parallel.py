@@ -217,8 +217,42 @@ def test_parallel_counters_match_serial(use_gpu):
             _run_job(app, use_gpu, workers=workers)
         snapshots.append(rec.metrics.snapshot())
     serial, par = snapshots
-    assert par["counters"] == serial["counters"]
+    # The parallel run additionally reports its (deterministic) pool
+    # dispatch counters; everything the serial run counts must match
+    # exactly, and the serial run must have no pool counters at all.
+    core = {k: v for k, v in par["counters"].items()
+            if not k.startswith("pool.")}
+    assert core == serial["counters"]
+    assert not any(k.startswith("pool.") for k in serial["counters"])
+    assert par["counters"]["pool.jobs"] == 1.0
+    assert par["counters"]["pool.tasks"] >= par["counters"]["pool.batches"]
     assert set(par["gauges"]) == set(serial["gauges"])
+
+
+@pytest.mark.parametrize("start_method", ["fork", "spawn"])
+def test_start_method_results_identical(start_method, monkeypatch):
+    """The spawn fallback must produce byte-identical job results.
+
+    ``fork`` workers inherit warm caches; ``spawn`` workers rebuild
+    everything from the job spec — if the two ever disagree, the spec
+    is missing ambient state (an engine default, a backend selection)
+    that fork was smuggling through.
+    """
+    from repro.parallel import shutdown_pool
+    from repro.parallel.daemon import START_ENV
+
+    app = get_app("WC")
+    baseline = _run_job(app, use_gpu=False, workers=1)
+    monkeypatch.setenv(START_ENV, start_method)
+    shutdown_pool()
+    try:
+        par = _run_job(app, use_gpu=False, workers=2)
+    finally:
+        shutdown_pool()
+    assert par.output == baseline.output
+    assert par.map_output_pairs == baseline.map_output_pairs
+    assert par.shuffle_bytes == baseline.shuffle_bytes
+    assert par.task_seconds() == baseline.task_seconds()
 
 
 def test_env_workers_reaches_the_job_runner(monkeypatch):
