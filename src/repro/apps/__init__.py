@@ -1,8 +1,10 @@
-"""The eight evaluation benchmarks (paper Table 2).
+"""The evaluation benchmarks: paper Table 2 plus registry extensions.
 
-Six come from the PUMA suite (grep, wordcount, kmeans, classification,
-histmovies, histratings) and two are scientific applications
-(blackScholes, linear regression). Each ships:
+The paper's eight: six from the PUMA suite (grep, wordcount, kmeans,
+classification, histmovies, histratings) and two scientific applications
+(blackScholes, linear regression). Four more ride the scenario registry
+(inverted index, relational join, terasort-style sort, PageRank) to
+widen sweep coverage beyond Table 2. Each ships:
 
 * directive-annotated mini-C map (and, where Table 2 says so, combine)
   sources — single-source programs runnable on both the CPU path and,
@@ -23,6 +25,10 @@ from . import (  # noqa: F401  (registration side effects)
     classification,
     linear_regression,
     blackscholes,
+    inverted_index,
+    join,
+    terasort,
+    pagerank,
 )
 
 __all__ = ["Application", "AppRegistry", "get_app", "all_apps"]

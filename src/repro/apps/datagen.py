@@ -125,6 +125,58 @@ def regression_rows(records: int, seed: int = 0, regressors: int = 12) -> str:
     return "\n".join(lines) + "\n"
 
 
+def doc_lines(records: int, seed: int = 0, vocab_size: int = 300,
+              words_per_doc: tuple[int, int] = (6, 18)) -> str:
+    """Inverted-index input: ``docId w1 w2 ...`` per line, Zipf words."""
+    rng = _rng(seed)
+    vocab = make_vocabulary(vocab_size, seed=seed + 1)
+    weights = [1.0 / (rank + 1) for rank in range(len(vocab))]
+    lines = []
+    for doc in range(records):
+        k = rng.randint(*words_per_doc)
+        lines.append(f"{doc} " + " ".join(rng.choices(vocab, weights=weights, k=k)))
+    return "\n".join(lines) + "\n"
+
+
+def join_rows(records: int, seed: int = 0, keys: int | None = None) -> str:
+    """Two-table join input: ``R key payload`` / ``S key payload`` rows.
+    Join keys collide across both tables so reducers see real matches."""
+    rng = _rng(seed)
+    nkeys = keys if keys is not None else max(4, records // 6)
+    lines = []
+    for _ in range(records):
+        side = "R" if rng.random() < 0.55 else "S"
+        key = rng.randrange(nkeys)
+        lines.append(f"{side} {key} p{rng.randint(0, 9999)}")
+    return "\n".join(lines) + "\n"
+
+
+def sort_records(records: int, seed: int = 0, key_digits: int = 8) -> str:
+    """Terasort-style input: zero-padded decimal sort key + payload.
+    Leading-zero keys stay *text* under the streaming coercion rules
+    while zero-free keys become ints — the mix exercises the numeric-
+    before-text comparator exactly where real sort benchmarks do."""
+    rng = _rng(seed)
+    bound = 10 ** key_digits
+    lines = []
+    for i in range(records):
+        key = rng.randrange(bound)
+        lines.append(f"{key:0{key_digits}d} row{i} {rng.randint(0, 9999)}")
+    return "\n".join(lines) + "\n"
+
+
+def adjacency(records: int, seed: int = 0, max_out: int = 8) -> str:
+    """PageRank input: ``src dst1 .. dstm`` per line, one line per node.
+    Out-degrees are skewed and duplicate edges are allowed (multigraph)."""
+    rng = _rng(seed)
+    lines = []
+    for src in range(records):
+        m = max(1, min(max_out, int(rng.paretovariate(1.3))))
+        dsts = [str(rng.randrange(records)) for _ in range(m)]
+        lines.append(f"{src} " + " ".join(dsts))
+    return "\n".join(lines) + "\n"
+
+
 def option_chain(records: int, seed: int = 0) -> str:
     """BlackScholes input: ``id spot strike years rate volatility``."""
     rng = _rng(seed)

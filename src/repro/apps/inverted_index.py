@@ -1,0 +1,83 @@
+"""Inverted index (II) — classic PUMA-style text workload, IO-intensive.
+
+Builds a word → document-frequency index: input records are
+``docId w1 w2 ...``; the map emits <word, docId> for every word, and the
+reducer counts *distinct* documents per word. Distinct-counting is not
+sum-associative, so Table-2-style partial aggregation does not apply —
+like CL, the app ships no combiner, which makes its shuffle volume the
+largest of the text apps (every occurrence crosses the wire).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any
+
+from . import datagen
+from .base import Application, AppRegistry, ClusterFigures
+
+MAP_SOURCE = r'''
+int main()
+{
+    char word[24], *line;
+    size_t nbytes = 10000;
+    int read, lp, off, doc, first;
+    line = (char*) malloc(nbytes*sizeof(char));
+    #pragma mapreduce mapper key(word) value(doc) keylength(24) kvpairs(24)
+    while( (read = getline(&line, &nbytes, stdin)) != -1) {
+        off = 0;
+        first = 1;
+        doc = 0;
+        while( (lp = getWord(line, off, word, read, 24)) != -1) {
+            off += lp;
+            if( first ) {
+                doc = atoi(word);   /* leading token is the doc id */
+                first = 0;
+            } else {
+                printf("%s\t%d\n", word, doc);
+            }
+        }
+    }
+    free(line);
+    return 0;
+}
+'''
+
+
+def _reference(split_text: str) -> dict[Any, Any]:
+    postings: dict[str, set[int]] = defaultdict(set)
+    for line in split_text.splitlines():
+        parts = line.split()
+        if len(parts) < 2:
+            continue
+        doc = int(parts[0])
+        for word in parts[1:]:
+            postings[word].add(doc)
+    return {word: len(docs) for word, docs in postings.items()}
+
+
+def _reduce(key: Any, values: list[Any]) -> list[tuple[Any, Any]]:
+    return [(key, len({int(v) for v in values}))]
+
+
+def _generate(records: int, seed: int) -> str:
+    return datagen.doc_lines(records, seed)
+
+
+INVERTED_INDEX = AppRegistry.register(
+    Application(
+        name="inverted_index",
+        short="II",
+        nature="IO",
+        map_source=MAP_SOURCE,
+        combine_source=None,          # distinct-count is not sum-associative
+        reduce_source=None,
+        reduce_py=_reduce,
+        pct_map_combine_active=88,
+        cluster1=ClusterFigures(reduce_tasks=32, map_tasks=5120, input_gb=780),
+        cluster2=ClusterFigures(reduce_tasks=16, map_tasks=960, input_gb=140),
+        generate=_generate,
+        reference=_reference,
+        record_skew=1.5,
+    )
+)

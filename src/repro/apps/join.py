@@ -1,0 +1,98 @@
+"""Relational join (RJ) — two-table equi-join by counting, IO-intensive.
+
+Input rows carry a table tag: ``R key payload`` or ``S key payload``.
+The map emits <key, 1> for an R row and <key, 10000> for an S row, so a
+plain integer sum encodes both per-key cardinalities at once
+(``nR = sum % 10000``, ``nS = sum // 10000``); the reducer decodes the
+sum and emits the join cardinality ``nR * nS`` — the standard
+count-based repartition join. The weight encoding keeps the combiner a
+stock integer sum, so GPU partial aggregation applies unchanged; datagen
+keeps every per-key R count far below the 10000 radix.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any
+
+from . import datagen
+from .base import Application, AppRegistry, ClusterFigures
+from .combiners import INT_KEY_INT_SUM
+
+S_RADIX = 10000
+
+MAP_SOURCE = r'''
+int main()
+{
+    char tag[8], tok[24], *line;
+    size_t nbytes = 10000;
+    int read, lp, off, key, w;
+    line = (char*) malloc(nbytes*sizeof(char));
+    #pragma mapreduce mapper key(key) value(w) kvpairs(2)
+    while( (read = getline(&line, &nbytes, stdin)) != -1) {
+        off = 0;
+        lp = getWord(line, off, tag, read, 8);
+        if( lp != -1 ) {
+            off += lp;
+            lp = getWord(line, off, tok, read, 24);
+            if( lp != -1 ) {
+                key = atoi(tok);
+                if( tag[0] == 'R' ) {
+                    w = 1;
+                } else {
+                    w = 10000;
+                }
+                printf("%d\t%d\n", key, w);
+            }
+        }
+    }
+    free(line);
+    return 0;
+}
+'''
+
+
+def _reference(split_text: str) -> dict[Any, Any]:
+    r_rows: Counter[int] = Counter()
+    s_rows: Counter[int] = Counter()
+    for line in split_text.splitlines():
+        parts = line.split()
+        if len(parts) < 2:
+            continue
+        key = int(parts[1])
+        if parts[0] == "R":
+            r_rows[key] += 1
+        else:
+            s_rows[key] += 1
+    return {
+        key: r_rows[key] * s_rows[key]
+        for key in r_rows.keys() | s_rows.keys()
+    }
+
+
+def _reduce(key: Any, values: list[Any]) -> list[tuple[Any, Any]]:
+    total = sum(int(v) for v in values)
+    return [(key, (total % S_RADIX) * (total // S_RADIX))]
+
+
+def _generate(records: int, seed: int) -> str:
+    return datagen.join_rows(records, seed)
+
+
+JOIN = AppRegistry.register(
+    Application(
+        name="join",
+        short="RJ",
+        nature="IO",
+        map_source=MAP_SOURCE,
+        combine_source=INT_KEY_INT_SUM,
+        reduce_source=None,           # the decode step needs the full sum
+        reduce_py=_reduce,
+        pct_map_combine_active=89,
+        cluster1=ClusterFigures(reduce_tasks=16, map_tasks=4480, input_gb=690),
+        cluster2=ClusterFigures(reduce_tasks=16, map_tasks=896, input_gb=120),
+        generate=_generate,
+        reference=_reference,
+        record_skew=1.0,
+    )
+)

@@ -38,50 +38,29 @@ from .apps import get_app
 from .errors import ReproError
 from .gpu.engine import use_gpu_engine
 from .minic.interpreter import use_backend
+from .scenarios.registry import APP_ORDER, get_workload
 
-#: Default record counts, sized so the tree-walker run stays around a
-#: second per app (KM does ~40x more mini-C work per record than WC).
-_DEFAULT_RECORDS = {
-    "GR": 4000,
-    "WC": 3000,
-    "HS": 4000,
-    "HR": 4000,
-    "LR": 1500,
-    "KM": 300,
-    "CL": 400,
-    "BS": 1500,
-}
+#: Default record counts — the registry's ``medium`` scale, sized so
+#: the tree-walker run stays around a second per app (KM does ~40x
+#: more mini-C work per record than WC).
+_DEFAULT_RECORDS = {app: get_workload(app).records("medium")
+                    for app in APP_ORDER}
 
-#: GPU-path record counts: sized so the tree-walking GPU run lands
-#: around 1–2 s. WC is larger than its CPU figure because the map
-#: kernel amortizes per-lane setup over more records per lane.
-_DEFAULT_GPU_RECORDS = {
-    "GR": 4000,
-    "WC": 4000,
-    "HS": 4000,
-    "HR": 4000,
-    "LR": 1500,
-    "KM": 300,
-    "CL": 400,
-    "BS": 1500,
-}
+#: GPU-path record counts: the registry's GPU-bench figures, sized so
+#: the tree-walking GPU run lands around 1–2 s. WC is larger than its
+#: CPU figure because the map kernel amortizes per-lane setup over
+#: more records per lane.
+_DEFAULT_GPU_RECORDS = {app: get_workload(app).gpu_bench_records
+                        for app in APP_ORDER}
 DEFAULT_APPS = ("WC", "KM")
 
-#: Scaled-tier record counts: inputs big enough that per-task work
-#: dominates dispatch overhead, which is where the daemon pool's wall
-#: clock win shows (the seed-tier inputs finish in tens of
-#: milliseconds — there, IPC is the job). Compute apps get fewer
-#: records for comparable wall time per run.
-_SCALED_RECORDS = {
-    "GR": 100_000,
-    "WC": 100_000,
-    "HS": 100_000,
-    "HR": 100_000,
-    "LR": 30_000,
-    "KM": 5_000,
-    "CL": 8_000,
-    "BS": 30_000,
-}
+#: Scaled-tier record counts — the registry's ``large`` scale: inputs
+#: big enough that per-task work dominates dispatch overhead, which is
+#: where the daemon pool's wall clock win shows (the seed-tier inputs
+#: finish in tens of milliseconds — there, IPC is the job). Compute
+#: apps get fewer records for comparable wall time per run.
+_SCALED_RECORDS = {app: get_workload(app).records("large")
+                   for app in APP_ORDER}
 
 #: Worker counts the parallel bench compares (serial first).
 _DEFAULT_WORKER_STEPS = (1, 2, 4)

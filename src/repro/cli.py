@@ -22,6 +22,7 @@ from .compiler import translate
 from .config import CLUSTER1, CLUSTER2, OptimizationFlags
 from .errors import ReproError
 from .minic import parse
+from .scheduling import policy_names
 
 
 def _cmd_apps(_args: argparse.Namespace) -> int:
@@ -107,13 +108,9 @@ def _sim_job_conf(app, cluster, task_scale: float):
 
 
 def _policies() -> dict:
-    from .scheduling import CpuOnlyPolicy, GpuFirstPolicy, TailPolicy
+    from .scheduling import POLICIES
 
-    return {
-        "cpu-only": CpuOnlyPolicy,
-        "gpu-first": GpuFirstPolicy,
-        "tail": TailPolicy,
-    }
+    return dict(POLICIES)
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -129,11 +126,63 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"{app.short} on {cluster.name} ({args.gpus} GPU/node), "
           f"{job.num_map_tasks} maps, single-task speedup "
           f"{times.gpu_speedup:.1f}x")
-    for name in (args.policy,) if args.policy else ("cpu-only", "gpu-first", "tail"):
+    for name in (args.policy,) if args.policy else tuple(policies):
         result = ClusterSimulator(job, policies[name]()).run()
         print(f"  {name:10s}: {result.job_seconds:8.1f} s "
               f"({base.job_seconds / result.job_seconds:.2f}x), "
               f"gpu tasks {result.gpu_tasks}, forced {result.forced_gpu_tasks}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import time
+
+    from .scenarios import (
+        all_scenarios, get_scenario, report_bytes, run_sweep,
+    )
+
+    scenarios = list(all_scenarios())
+    if args.scenarios:
+        scenarios = [get_scenario(sid) for sid in args.scenarios]
+    if args.apps:
+        wanted = {tag.upper() for tag in args.apps}
+        scenarios = [s for s in scenarios if s.app in wanted]
+    if args.shapes:
+        scenarios = [s for s in scenarios if s.shape in set(args.shapes)]
+    if args.list:
+        print(f"{'id':24s} {'app':4s} {'shape':14s} {'policy':11s} description")
+        for s in scenarios:
+            print(f"{s.id:24s} {s.app:4s} {s.shape:14s} {s.policy:11s} "
+                  f"{s.description}")
+        return 0
+    if not scenarios:
+        raise ReproError("sweep filters selected no scenarios")
+
+    start = time.perf_counter()
+    report = run_sweep(scenarios, policies=args.policies, scale=args.scale,
+                       verify=args.verify)
+    wall = time.perf_counter() - start
+    payload = report_bytes(report)
+    if args.out:
+        with open(args.out, "wb") as fh:
+            fh.write(payload)
+    if args.json and not args.out:
+        sys.stdout.write(payload.decode("utf-8"))
+    else:
+        rows = report["results"]
+        print(f"{len(scenarios)} scenarios x policies -> {len(rows)} runs, "
+              f"scale={args.scale}, {wall:.1f}s wall")
+        for row in rows:
+            speedup = row.get("speedup_vs_cpu_only")
+            vs = f" ({speedup:.2f}x vs cpu-only)" if speedup else ""
+            print(f"  {row['scenario']:24s} {row['policy']:11s} "
+                  f"{row['job_seconds']:9.1f} s  gpu {row['gpu_tasks']:6d} "
+                  f"local {row['data_local_fraction']:.3f}{vs}")
+        if args.verify:
+            print(f"verified {len(report['verification'])} scenarios: "
+                  "cpu/gpu paths and reference agree")
+        if args.out:
+            print(f"report -> {args.out}")
     return 0
 
 
@@ -340,6 +389,18 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     from .fuzz import run_campaign
     from .fuzz.gen import KIND_SCHEDULE
 
+    if args.registry:
+        from .fuzz.runner import registry_conformance
+
+        divergences = registry_conformance(
+            scale=args.scale, log=None if args.quiet else print)
+        status = "OK" if not divergences else \
+            f"{len(divergences)} DIVERGENT"
+        print(f"registry conformance @ {args.scale}: {status}")
+        for divergence in divergences:
+            print()
+            print(divergence.report())
+        return 0 if not divergences else 1
     kinds = KIND_SCHEDULE
     if args.kinds:
         kinds = tuple(args.kinds.split(","))
@@ -448,9 +509,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("app")
     p.add_argument("--cluster", type=int, choices=(1, 2), default=1)
     p.add_argument("--gpus", type=int, default=1)
-    p.add_argument("--policy", choices=("cpu-only", "gpu-first", "tail"))
+    p.add_argument("--policy", choices=policy_names())
     p.add_argument("--task-scale", type=float, default=1.0)
     p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("sweep", help="run a scenario-registry slice through "
+                                     "the cluster simulator")
+    p.add_argument("--scale", choices=("small", "medium", "large"),
+                   default="small",
+                   help="workload scale (map-pool size and --verify input)")
+    p.add_argument("--scenarios", nargs="*", metavar="ID",
+                   help="scenario ids (default: the whole registry)")
+    p.add_argument("--apps", nargs="*", metavar="TAG",
+                   help="keep only scenarios for these app tags")
+    p.add_argument("--shapes", nargs="*", metavar="SHAPE",
+                   help="keep only scenarios on these cluster shapes")
+    p.add_argument("--policies", nargs="*", metavar="NAME",
+                   choices=policy_names(),
+                   help="policy slate per scenario (default: cpu-only, "
+                        "gpu-first, tail; each scenario's own policy is "
+                        "always added)")
+    p.add_argument("--verify", action="store_true",
+                   help="also run each scenario's app functionally on both "
+                        "execution paths and check against the reference")
+    p.add_argument("--list", action="store_true",
+                   help="list the selected scenarios and exit")
+    p.add_argument("--json", action="store_true",
+                   help="print the canonical JSON report to stdout")
+    p.add_argument("-o", "--out", default=None,
+                   help="write the canonical JSON report here")
+    p.set_defaults(func=_cmd_sweep)
 
     trace_help = {
         "trace": ("run a job with tracing on and emit a Chrome trace-event "
@@ -473,7 +561,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--split-kb", type=int, default=32)
         p.add_argument("--gpus", type=int, default=1,
                        help="GPUs per node (simulate mode)")
-        p.add_argument("--policy", choices=("cpu-only", "gpu-first", "tail"),
+        p.add_argument("--policy", choices=policy_names(),
                        default="tail", help="scheduling policy (simulate mode)")
         p.add_argument("--task-scale", type=float, default=0.02,
                        help="fraction of the paper's map-task count "
@@ -543,6 +631,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: tests/fuzz_corpus/)")
     p.add_argument("--quiet", action="store_true",
                    help="only print the final summary line")
+    p.add_argument("--registry", action="store_true",
+                   help="instead of generated cases, run every scenario-"
+                        "registry app's canonical workload through the "
+                        "oracle (scenario conformance)")
+    p.add_argument("--scale", choices=("small", "medium", "large"),
+                   default="small",
+                   help="--registry: datagen scale (default small)")
     _add_workers_option(p, "fans cases across the daemon pool (digest "
                            "is identical at any worker count)")
     p.set_defaults(func=_cmd_fuzz)

@@ -31,13 +31,13 @@ from ..hadoop.local import parse_kv_line
 from ..hadoop.shuffle import sort_kv_run
 from ..kvstore import Partitioner
 from ..runtime.gpu_task import GpuTaskBreakdown, GpuTaskRunner
+from ..scenarios.registry import APP_ORDER, get_workload
 
-#: Default records per calibration split, per app (BS interprets 128
-#: pricing iterations per record, so fewer records suffice).
-DEFAULT_RECORDS = {
-    "GR": 500, "WC": 400, "HS": 400, "HR": 400,
-    "KM": 250, "CL": 300, "LR": 300, "BS": 120,
-}
+#: Default records per calibration split, per app — the registry's
+#: ``calibration`` figures (BS interprets 128 pricing iterations per
+#: record, so fewer records suffice).
+DEFAULT_RECORDS = {app: get_workload(app).calibration
+                   for app in APP_ORDER}
 
 
 @dataclass

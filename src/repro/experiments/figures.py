@@ -15,11 +15,12 @@ from ..apps.base import Application
 from ..config import CLUSTER1, CLUSTER2, ClusterConfig, OptimizationFlags
 from ..errors import ConfigError
 from ..hadoop import ClusterSimulator, JobConf
+from ..scenarios.registry import PAPER_APP_ORDER
 from ..scheduling import CpuOnlyPolicy, GpuFirstPolicy, TailPolicy
 from .calibrate import TaskTimes, gpu_breakdown_from_trace, single_task_times
 
 #: Benchmarks in the paper's Fig. 4/5 ordering (by increasing speedup).
-APP_ORDER = ["GR", "HS", "WC", "HR", "LR", "KM", "CL", "BS"]
+APP_ORDER = list(PAPER_APP_ORDER)
 
 #: Seeds for the paper's run-three-times-report-best protocol (§7.3).
 RUN_SEEDS = (11, 23, 47)

@@ -9,6 +9,7 @@ from dataclasses import dataclass
 from ..apps import all_apps
 from ..config import CLUSTER1, CLUSTER2, ClusterConfig
 from ..directives.clauses import CLAUSES, ArgKind, DirectiveKind
+from ..scenarios.registry import PAPER_APP_ORDER
 
 
 def table1() -> list[dict[str, str]]:
@@ -48,7 +49,7 @@ def table1() -> list[dict[str, str]]:
 def table2() -> list[dict[str, object]]:
     """Table 2: benchmark descriptions, from the app registry."""
     rows = []
-    order = ["GR", "HS", "WC", "HR", "LR", "KM", "CL", "BS"]
+    order = PAPER_APP_ORDER
     by_short = {a.short: a for a in all_apps()}
     for short in order:
         app = by_short[short]

@@ -24,6 +24,7 @@ strictest first:
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict
 from dataclasses import dataclass
 from typing import Any
@@ -159,13 +160,57 @@ def _fmt_output_diff(cpu: dict[Any, Any], gpu: dict[Any, Any]) -> str:
     return "output dict mismatch:\n" + "\n".join(rows[:20])
 
 
+def _outputs_diverge(got: dict[Any, Any], want: dict[Any, Any],
+                     value_close: bool = False) -> bool:
+    """Exact dict inequality, or float-tolerant when ``value_close``."""
+    if not value_close:
+        return got != want
+    if set(got) != set(want):
+        return True
+    for key, value in want.items():
+        other = got[key]
+        if isinstance(value, float) or isinstance(other, float):
+            if not math.isclose(float(other), float(value),
+                                rel_tol=1e-4, abs_tol=1e-3):
+                return True
+        elif other != value:
+            return True
+    return False
+
+
 def _compare_mapper_job(case: FuzzCase) -> Divergence | None:
-    app = _fuzz_app(case)
+    return _compare_job_matrix(case, _fuzz_app(case))
+
+
+def _compare_job_matrix(case: FuzzCase, app: Application,
+                        value_close: bool = False,
+                        compare_cpu_backends: bool = False) -> Divergence | None:
     try:
         cpu = _run_job(app, case.input_text, use_gpu=False)
     except ReproError as exc:
         return Divergence(case, "cpu-job-error",
                           f"{type(exc).__name__}: {exc}")
+    # Scenario cases additionally pin the CPU job across both mini-C
+    # backends: the streaming map/combine interpreters must agree byte
+    # for byte before the GPU matrix is worth consulting.
+    if compare_cpu_backends:
+        try:
+            with use_backend("tree"):
+                cpu_tree = _run_job(app, case.input_text, use_gpu=False)
+            with use_backend("compiled"):
+                cpu_comp = _run_job(app, case.input_text, use_gpu=False)
+        except ReproError as exc:
+            return Divergence(case, "cpu-backend-job-error",
+                              f"{type(exc).__name__}: {exc}")
+        if cpu_tree.output != cpu_comp.output:
+            return Divergence(case, "cpu-backend-output:tree-vs-compiled",
+                              _fmt_output_diff(cpu_tree.output,
+                                               cpu_comp.output))
+        if cpu_tree.map_output_pairs != cpu_comp.map_output_pairs:
+            return Divergence(
+                case, "cpu-backend-pairs:tree-vs-compiled",
+                f"tree emitted {cpu_tree.map_output_pairs} map pairs, "
+                f"compiled emitted {cpu_comp.map_output_pairs}")
     # Parallel configuration: the same CPU job fanned across a worker
     # pool must match the serial run byte for byte. Skipped inside a
     # fuzz pool worker (workers are leaves — the job would silently run
@@ -225,7 +270,7 @@ def _compare_mapper_job(case: FuzzCase) -> Divergence | None:
                     case, f"gpu-engine-cost:{name}",
                     f"task {i}: tree/tree={a.map_launch.cost}\n"
                     f"{name}={b.map_launch.cost}")
-    if cpu.output != gpu_c.output:
+    if _outputs_diverge(gpu_c.output, cpu.output, value_close):
         return Divergence(case, "cpu-vs-gpu-job",
                           _fmt_output_diff(cpu.output, gpu_c.output))
     if cpu.map_output_pairs != gpu_c.map_output_pairs:
@@ -233,6 +278,53 @@ def _compare_mapper_job(case: FuzzCase) -> Divergence | None:
             case, "map-output-pairs",
             f"cpu emitted {cpu.map_output_pairs} map pairs, "
             f"gpu emitted {gpu_c.map_output_pairs}")
+    return None
+
+
+# -- registry scenarios: the real apps through the same engine matrix ------
+
+
+def scenario_case(short: str, scale: str = "small",
+                  seed: int | None = None) -> FuzzCase:
+    """One registry app plus its canonical datagen input as a case."""
+    from ..apps import get_app
+    from ..scenarios.registry import generate_input, get_workload
+
+    app = get_app(short)
+    if seed is None:
+        seed = get_workload(short).seed
+    return FuzzCase(kind="scenario", seed=seed, index=0,
+                    source=app.map_source, gpu=True,
+                    combine_source=app.combine_source,
+                    input_text=generate_input(short, scale, seed=seed),
+                    label=f"registry:{short}:{scale}")
+
+
+def run_scenario(short: str, scale: str = "small",
+                 seed: int | None = None) -> Divergence | None:
+    """Four-engine oracle over one registry app's canonical workload.
+
+    The comparison matrix is the generated-mapper one plus a CPU
+    tree-vs-compiled backend leg, with two app-appropriate adjustments:
+    final CPU-vs-GPU values compare with float tolerance (compute apps
+    reduce to floats, and the two paths order float additions
+    differently), and the app's pure-Python reference output is checked
+    as a fifth opinion when the app defines one.
+    """
+    from ..apps import get_app
+
+    case = scenario_case(short, scale, seed=seed)
+    app = get_app(short)
+    div = _compare_job_matrix(case, app, value_close=True,
+                              compare_cpu_backends=True)
+    if div is not None:
+        return div
+    if app.reference is not None:
+        cpu = _run_job(app, case.input_text, use_gpu=False)
+        want = app.reference(case.input_text)
+        if _outputs_diverge(cpu.output, want, value_close=True):
+            return Divergence(case, "cpu-vs-reference",
+                              _fmt_output_diff(want, cpu.output))
     return None
 
 

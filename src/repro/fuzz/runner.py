@@ -21,7 +21,7 @@ import json
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable
+from typing import Callable, Sequence
 
 from ..parallel.daemon import get_pool
 from ..parallel.pool import resolve_workers
@@ -192,3 +192,36 @@ def run_campaign(
     result.elapsed = time.monotonic() - start
     result.digest = sha.hexdigest()
     return result
+
+
+# -- registry conformance ---------------------------------------------------
+
+
+def registry_conformance(
+    scale: str = "small",
+    apps: Sequence[str] | None = None,
+    log: Callable[[str], None] | None = None,
+) -> list[Divergence]:
+    """Every registry app's canonical workload through the full oracle.
+
+    This is the fuzz tier's scenario-conformance leg: app coverage is
+    enumerated from :func:`repro.scenarios.scenario_apps` (never a
+    hard-coded list), each app's seeded datagen input is regenerated at
+    ``scale``, and :func:`repro.fuzz.oracle.run_scenario` runs the
+    engine matrix plus the reference check. Returns the divergences
+    (empty means fully conforming). ``tests/test_scenarios.py``
+    parametrizes the same entry point per app.
+    """
+    from ..scenarios.registry import scenario_apps
+    from .oracle import run_scenario
+
+    shorts = tuple(apps) if apps is not None else scenario_apps()
+    divergences: list[Divergence] = []
+    for short in shorts:
+        divergence = run_scenario(short, scale=scale)
+        if log:
+            status = "ok" if divergence is None else divergence.check
+            log(f"scenario {short} @ {scale}: {status}")
+        if divergence is not None:
+            divergences.append(divergence)
+    return divergences

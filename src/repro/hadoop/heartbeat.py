@@ -10,9 +10,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class Heartbeat:
-    """TaskTracker → JobTracker."""
+    """TaskTracker → JobTracker. A plain slotted dataclass: one is built
+    per heartbeat event, and at 1000-node sweep scale the frozen variant's
+    ``object.__setattr__`` init showed up in profiles."""
 
     node: int
     free_cpu_slots: int
@@ -21,7 +23,7 @@ class Heartbeat:
     ave_gpu_speedup: float          # HeteroDoop extension (§6.2)
 
 
-@dataclass
+@dataclass(slots=True)
 class HeartbeatResponse:
     """JobTracker → TaskTracker."""
 

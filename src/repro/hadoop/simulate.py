@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from functools import partial
 
 from ..costmodel.io import IoModel
 from ..errors import HadoopError
@@ -142,6 +143,11 @@ class ClusterSimulator:
             for n in range(cluster.num_slaves)
         ]
         self.loop = EventLoop()
+        # One prebound callback per tracker: heartbeats are by far the most
+        # scheduled event (hundreds of thousands in a 1000-node sweep), so
+        # allocating a fresh closure per beat is measurable waste.
+        self._hb_interval = cluster.heartbeat_interval_s
+        self._hb_fns = [partial(self._heartbeat, t) for t in self.trackers]
         self._map_phase_end = 0.0
         self._failures = 0
         self.speculative = (
@@ -257,9 +263,7 @@ class ClusterSimulator:
         if self.speculative and not response.task_ids \
                 and self.jobtracker.pending_maps == 0:
             self._maybe_speculate(tracker)
-        self.loop.schedule(
-            self.job.cluster.heartbeat_interval_s, lambda: self._heartbeat(tracker)
-        )
+        self.loop.schedule(self._hb_interval, self._hb_fns[tracker.node])
 
     def _maybe_speculate(self, tracker: TaskTracker) -> None:
         """Launch a backup attempt for the worst straggler on a free CPU
@@ -385,10 +389,10 @@ class ClusterSimulator:
             )
 
         # Stagger initial heartbeats as real TaskTrackers do.
-        interval = self.job.cluster.heartbeat_interval_s
-        for i, tracker in enumerate(self.trackers):
-            offset = interval * i / max(len(self.trackers), 1)
-            self.loop.schedule(offset, lambda t=tracker: self._heartbeat(t))
+        interval = self._hb_interval
+        num = max(len(self.trackers), 1)
+        for i, fn in enumerate(self._hb_fns):
+            self.loop.schedule(interval * i / num, fn)
         self.loop.run()
 
         if not self.jobtracker.all_maps_done:

@@ -60,9 +60,21 @@ class Hdfs:
 
     # -- writes ----------------------------------------------------------------
 
+    #: Node count above which placement switches from shuffling the full
+    #: node list (O(nodes) per block — fine for the paper's 48-node
+    #: clusters, ruinous at 1000+ where it dominated sweep setup in
+    #: profiles) to ``Random.sample`` (O(replication)). Both draw
+    #: uniformly over distinct nodes; they just consume the seeded RNG
+    #: differently, and the committed golden traces pin the small-cluster
+    #: stream byte-for-byte, so the shuffle path stays for those sizes.
+    SAMPLE_PLACEMENT_NODES = 256
+
     def _place_replicas(self) -> tuple[int, ...]:
         """First replica on a random node, the rest on distinct others
         (Hadoop's rack policy simplified to distinct nodes)."""
+        if self.num_nodes > self.SAMPLE_PLACEMENT_NODES:
+            return tuple(self._rng.sample(range(self.num_nodes),
+                                          self.replication))
         nodes = list(range(self.num_nodes))
         self._rng.shuffle(nodes)
         return tuple(nodes[: self.replication])

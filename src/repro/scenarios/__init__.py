@@ -1,0 +1,48 @@
+"""Declarative scenario registry + sweep runner.
+
+See :mod:`repro.scenarios.registry` for the tables and
+:mod:`repro.scenarios.sweep` for the runner; ``docs/scenarios.md``
+documents the schema and the ``repro sweep`` CLI.
+"""
+
+from .registry import (
+    APP_ORDER,
+    EXTENDED_APP_ORDER,
+    PAPER_APP_ORDER,
+    SCALES,
+    SCENARIOS,
+    SHAPES,
+    WORKLOADS,
+    ClusterShape,
+    Scenario,
+    Workload,
+    all_scenarios,
+    datagen_digest,
+    generate_input,
+    get_scenario,
+    get_shape,
+    get_workload,
+    records_for,
+    scenario_apps,
+    validate_registry,
+)
+from .sweep import (
+    DEFAULT_POLICIES,
+    build_simulator,
+    report_bytes,
+    run_sweep,
+    sweep_job_conf,
+)
+
+validate_registry()
+
+__all__ = [
+    "APP_ORDER", "EXTENDED_APP_ORDER", "PAPER_APP_ORDER", "SCALES",
+    "SCENARIOS", "SHAPES", "WORKLOADS",
+    "ClusterShape", "Scenario", "Workload",
+    "all_scenarios", "datagen_digest", "generate_input", "get_scenario",
+    "get_shape", "get_workload", "records_for", "scenario_apps",
+    "validate_registry",
+    "DEFAULT_POLICIES", "build_simulator", "report_bytes", "run_sweep",
+    "sweep_job_conf",
+]

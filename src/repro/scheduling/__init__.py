@@ -5,9 +5,52 @@
 * :mod:`repro.scheduling.tail` — HeteroDoop's tail scheduling
   (Algorithm 2): near the end of the job, remaining tasks are forced onto
   GPUs so the fast devices never idle while slow CPU stragglers finish.
+* :mod:`repro.scheduling.locality` — delay-scheduling grants: non-local
+  tasks are rationed per heartbeat while work is plentiful.
+* :mod:`repro.scheduling.fair_share` — proportional-share grants: each
+  heartbeat is capped at the node's share of the pending work.
+
+Every policy is registered in :data:`POLICIES` under its ``name``; the
+CLI, the scenario registry, and the tests all resolve policies through
+:func:`get_policy` so adding a policy here is the whole job.
 """
 
-from .gpu_first import GpuFirstPolicy
+from __future__ import annotations
+
+from ..errors import ConfigError
+from .fair_share import FairSharePolicy
+from .gpu_first import GpuFirstPolicy, PlacementDecision
+from .locality import LocalityAwarePolicy
 from .tail import TailPolicy, SchedulingPolicy, CpuOnlyPolicy
 
-__all__ = ["SchedulingPolicy", "GpuFirstPolicy", "TailPolicy", "CpuOnlyPolicy"]
+#: name → policy class, the single source of truth for "which policies
+#: exist" (insertion order is the CLI/help presentation order).
+POLICIES: dict[str, type] = {
+    "cpu-only": CpuOnlyPolicy,
+    "gpu-first": GpuFirstPolicy,
+    "tail": TailPolicy,
+    "locality": LocalityAwarePolicy,
+    "fair-share": FairSharePolicy,
+}
+
+
+def policy_names() -> tuple[str, ...]:
+    return tuple(POLICIES)
+
+
+def get_policy(name: str) -> SchedulingPolicy:
+    """Instantiate a registered policy by name."""
+    try:
+        cls = POLICIES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown policy {name!r}; known: {sorted(POLICIES)}"
+        ) from None
+    return cls()
+
+
+__all__ = [
+    "SchedulingPolicy", "PlacementDecision", "GpuFirstPolicy", "TailPolicy",
+    "CpuOnlyPolicy", "LocalityAwarePolicy", "FairSharePolicy",
+    "POLICIES", "policy_names", "get_policy",
+]

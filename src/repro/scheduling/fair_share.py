@@ -1,0 +1,28 @@
+"""Fair-share scheduling — per-node grant caps on top of GPU-first.
+
+Stock Hadoop fills every free slot per heartbeat, so whichever node
+heartbeats first after a task wave swallows the whole queue — harmless
+on homogeneous racks, but on a heterogeneous cluster the fast nodes
+strip-mine the queue and the slow nodes' GPUs idle. Fair share caps each
+heartbeat's grant at the node's proportional share of the pending work,
+``ceil(pending / slaves)``, floored at one task so the policy stays
+work-conserving: a node with free slots and pending work always gets at
+least one task regardless of heartbeat order.
+"""
+
+from __future__ import annotations
+
+from .gpu_first import GpuFirstPolicy
+
+
+class FairSharePolicy(GpuFirstPolicy):
+    """GPU-first placement + proportional-share grants."""
+
+    name = "fair-share"
+    uses_gpus = True
+
+    def tasks_to_grant(self, free_cpu_slots: int, free_gpu_slots: int,
+                       remaining: int, num_gpus_per_node: int,
+                       max_speedup: float, num_slaves: int) -> int:
+        share = max(1, -(-remaining // max(num_slaves, 1)))
+        return min(share, free_cpu_slots + free_gpu_slots, remaining)

@@ -1,0 +1,37 @@
+"""Locality-aware scheduling — delay-scheduling on top of GPU-first.
+
+Stock Hadoop (and the paper's schedulers, which inherit its grant loop)
+lets a node drain the FIFO queue the moment its own local queue is
+empty, which at scale turns the map phase into a remote-read storm: an
+unlucky heartbeat order can hand one rack's blocks to the other end of
+the cluster while the blocks' owners sit a heartbeat away from asking.
+Delay scheduling's observation is that waiting one beat is almost always
+cheaper than a remote read.
+
+While pending work is plentiful (more pending maps than slaves — every
+node still expects local work), each heartbeat may take at most
+``REMOTE_CAP_PLENTY`` non-local task; once the job drains below one task
+per slave the cap lifts entirely, so the tail stays work-conserving and
+stragglers get pulled from anywhere. The cap never blocks a grant
+outright — a node with free slots and pending work is always offered at
+least one task — so no heartbeat ordering can strand the queue.
+"""
+
+from __future__ import annotations
+
+from .gpu_first import GpuFirstPolicy
+
+
+class LocalityAwarePolicy(GpuFirstPolicy):
+    """GPU-first placement + delay-scheduling grants."""
+
+    name = "locality"
+    uses_gpus = True
+
+    #: Non-local tasks a heartbeat may take while work is plentiful.
+    REMOTE_CAP_PLENTY = 1
+
+    def remote_cap(self, pending: int, num_slaves: int) -> int | None:
+        if pending > num_slaves:
+            return self.REMOTE_CAP_PLENTY
+        return None

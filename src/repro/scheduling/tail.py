@@ -43,6 +43,8 @@ class SchedulingPolicy(Protocol):
                        remaining: int, num_gpus_per_node: int,
                        max_speedup: float, num_slaves: int) -> int: ...
 
+    def remote_cap(self, pending: int, num_slaves: int) -> int | None: ...
+
     def place(self, gpu_free: bool, cpu_free: bool,
               num_gpus: int, ave_speedup: float,
               maps_remaining_per_node: float) -> PlacementDecision: ...

@@ -82,3 +82,27 @@ def m2090_device() -> GpuDevice:
 @pytest.fixture
 def cluster1_io() -> IoModel:
     return IoModel.for_cluster(CLUSTER1)
+
+
+# -- scenario registry ------------------------------------------------------
+#
+# App enumeration for tests comes from the registry, never a literal
+# list: `registry_app` parametrizes over every covered app tag, and
+# `small_input` regenerates an app's canonical seeded input.
+
+from repro.scenarios import APP_ORDER, records_for  # noqa: E402
+
+
+@pytest.fixture(params=APP_ORDER)
+def registry_app(request) -> str:
+    return request.param
+
+
+@pytest.fixture
+def small_input():
+    from repro.apps import get_app
+
+    def make(short: str, seed: int = 7) -> str:
+        return get_app(short).generate(records_for(short, "small"), seed=seed)
+
+    return make

@@ -10,13 +10,16 @@ import pytest
 from repro.apps import all_apps, get_app
 from repro.config import CLUSTER1
 from repro.hadoop.local import LocalJobRunner
+from repro.scenarios import APP_ORDER, EXTENDED_APP_ORDER, PAPER_APP_ORDER
+from repro.scenarios import records_for as _registry_records
 
-APP_TAGS = ["GR", "HS", "WC", "HR", "LR", "KM", "CL", "BS"]
-_RECORDS = {"BS": 60, "LR": 80, "KM": 120}  # heavier interpret loops
+APP_TAGS = list(APP_ORDER)
 
 
 def records_for(short: str) -> int:
-    return _RECORDS.get(short, 200)
+    # Registry "small" counts: sized per app (compute apps run fewer
+    # records through their heavier interpret loops).
+    return _registry_records(short, "small")
 
 
 def assert_outputs_match(result: dict, reference: dict, tag: str) -> None:
@@ -31,14 +34,22 @@ def assert_outputs_match(result: dict, reference: dict, tag: str) -> None:
 
 
 class TestRegistry:
-    def test_all_eight_registered(self):
+    def test_every_scenario_app_registered(self):
+        # The paper's eight plus the registry's four extensions.
         assert sorted(a.short for a in all_apps()) == sorted(APP_TAGS)
+        assert len(APP_TAGS) == len(PAPER_APP_ORDER) + len(EXTENDED_APP_ORDER)
 
     def test_table2_combiner_column(self):
         has_combiner = {a.short: a.has_combiner for a in all_apps()}
-        assert has_combiner == {
+        table2 = {
             "GR": True, "HS": True, "WC": True, "HR": True,
             "LR": True, "KM": False, "CL": False, "BS": False,
+        }
+        assert {k: has_combiner[k] for k in table2} == table2
+        # Extensions: II's distinct-count is not sum-associative, so it
+        # runs combiner-less; the other three combine.
+        assert {k: has_combiner[k] for k in EXTENDED_APP_ORDER} == {
+            "II": False, "RJ": True, "TS": True, "PR": True,
         }
 
     def test_map_only_is_blackscholes_only(self):

@@ -16,10 +16,12 @@ class TestParser:
 
 
 class TestCommands:
-    def test_apps_lists_all_eight(self, capsys):
+    def test_apps_lists_every_registry_app(self, capsys):
+        from repro.scenarios import APP_ORDER
+
         assert main(["apps"]) == 0
         out = capsys.readouterr().out
-        for tag in ("GR", "HS", "WC", "HR", "LR", "KM", "CL", "BS"):
+        for tag in APP_ORDER:
             assert tag in out
 
     def test_translate_app(self, capsys):

@@ -18,7 +18,9 @@ class TestCluster2Calibration:
             assert c2.gpu_breakdown.map > c1.gpu_breakdown.map
 
     def test_ordering_survives_on_cluster2(self):
-        order = ["GR", "HS", "WC", "HR", "LR", "KM", "CL", "BS"]
+        from repro.scenarios import PAPER_APP_ORDER
+
+        order = PAPER_APP_ORDER
         speedups = []
         for app in order:
             if app == "KM":

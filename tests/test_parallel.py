@@ -32,17 +32,11 @@ from repro.parallel import (
 )
 from repro.parallel.pool import WORKERS_ENV
 from repro.runtime.gpu_task import GpuTaskRunner
+from repro.scenarios import records_for
 
 from .span_invariants import assert_standard_invariants
 
 APP_TAGS = [app.short for app in all_apps()]
-
-#: Input sizes matching the golden-trace sweep (generation is the cheap
-#: part; these keep each job small while still yielding several splits).
-RECORDS = {
-    "GR": 200, "WC": 200, "HS": 200, "HR": 200,
-    "LR": 100, "KM": 60, "CL": 80, "BS": 30,
-}
 
 
 # -- worker-count resolution ------------------------------------------------
@@ -180,7 +174,9 @@ class TestPools:
 
 
 def _run_job(app, use_gpu: bool, workers: int):
-    text = app.generate(RECORDS[app.short], seed=7)
+    # Registry "small" sizes (generation is the cheap part; these keep
+    # each job small while still yielding several splits).
+    text = app.generate(records_for(app.short, "small"), seed=7)
     # ~6 splits regardless of the app's record size, so every app
     # genuinely fans out
     split_bytes = max(256, len(text.encode()) // 6)

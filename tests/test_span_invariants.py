@@ -16,6 +16,7 @@ from repro.apps import all_apps, get_app
 from repro.config import CLUSTER1
 from repro.hadoop import ClusterSimulator, JobConf
 from repro.hadoop.local import LocalJobRunner
+from repro.scenarios import records_for
 from repro.scheduling import TailPolicy
 
 from .span_invariants import (
@@ -24,18 +25,13 @@ from .span_invariants import (
     phase_children,
 )
 
-#: Small per-app record counts: enough for a few map tasks each.
-RECORDS = {
-    "GR": 200, "WC": 200, "HS": 200, "HR": 200,
-    "LR": 100, "KM": 60, "CL": 80, "BS": 30,
-}
-
 APP_TAGS = [app.short for app in all_apps()]
 
 
 def _traced_local_run(short: str, use_gpu: bool):
+    # Registry "small" counts: enough for a few map tasks each.
     app = get_app(short)
-    text = app.generate(RECORDS.get(short, 100), seed=7)
+    text = app.generate(records_for(short, "small"), seed=7)
     runner = LocalJobRunner(app, use_gpu=use_gpu, split_bytes=4 * 1024)
     with obs.use_recorder(obs.TraceRecorder()) as rec:
         result = runner.run(text)

@@ -103,5 +103,6 @@ class TestCalibrationBands:
         assert ordered == sorted(ordered)
 
     def test_bands_cover_all_eight(self):
-        assert {b.app for b in FIG5_BANDS} == \
-            {"GR", "HS", "WC", "HR", "LR", "KM", "CL", "BS"}
+        from repro.scenarios import PAPER_APP_ORDER
+
+        assert {b.app for b in FIG5_BANDS} == set(PAPER_APP_ORDER)

@@ -24,17 +24,13 @@ import pytest
 from repro import cli, obs
 from repro.apps import all_apps, get_app
 from repro.hadoop.local import LocalJobRunner
+from repro.scenarios import records_for
 
 GOLDEN = Path(__file__).resolve().parent / "golden" / "wc_cluster1_tail.trace.json"
 GOLDEN_ARGS = ["trace", "WC", "--mode", "simulate", "--policy", "tail",
                "--task-scale", "0.02", "--cluster", "1"]
 
 APP_TAGS = [app.short for app in all_apps()]
-
-RECORDS = {
-    "GR": 200, "WC": 200, "HS": 200, "HR": 200,
-    "LR": 100, "KM": 60, "CL": 80, "BS": 30,
-}
 
 
 def _cli_trace_bytes(tmp_path: Path, name: str, extra_args: list[str]) -> bytes:
@@ -78,7 +74,7 @@ def test_golden_trace_is_schema_valid():
 @pytest.mark.parametrize("short", APP_TAGS)
 def test_every_app_emits_a_schema_valid_trace(short):
     app = get_app(short)
-    text = app.generate(RECORDS.get(short, 100), seed=7)
+    text = app.generate(records_for(short, "small"), seed=7)
     with obs.use_recorder(obs.TraceRecorder()) as rec:
         LocalJobRunner(app, use_gpu=True, split_bytes=4 * 1024).run(text)
     trace = obs.export_chrome(rec)
