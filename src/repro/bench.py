@@ -7,8 +7,11 @@ Two benchmark paths, both running complete local jobs:
   ``BENCH_interp.json``);
 * **gpu** — ``LocalJobRunner(use_gpu=True)`` under the tree-walking
   GPU path (``"tree"`` lane engine + ``"tree"`` mini-C backend — the
-  fully interpreted reference) vs the compiled lane engine (canonical
-  report ``BENCH_gpu.json``).
+  fully interpreted reference) vs the compiled lane engine vs the
+  numpy-vectorized warp engine (canonical report ``BENCH_gpu.json``).
+  The vector row reports its ``vector.regions``/``vector.fallbacks``
+  tallies so the report shows *whether* an app vectorized, not just how
+  fast it went.
 
 Each path reports records/second plus the compiled-over-tree speedup.
 The paired runs must produce identical job output — a speedup over a
@@ -53,6 +56,11 @@ _DEFAULT_RECORDS = {app: get_workload(app).records("medium")
 _DEFAULT_GPU_RECORDS = {app: get_workload(app).gpu_bench_records
                         for app in APP_ORDER}
 DEFAULT_APPS = ("WC", "KM")
+
+#: GPU-path default app set: WC pins the whole-kernel-fallback side of
+#: the vector engine, KM/BS/CL its vectorized side (uniform-trip
+#: pricing/argmin/classification loops).
+DEFAULT_GPU_APPS = ("WC", "KM", "BS", "CL")
 
 #: Scaled-tier record counts — the registry's ``large`` scale: inputs
 #: big enough that per-task work dominates dispatch overhead, which is
@@ -143,14 +151,19 @@ def _timed_gpu_run(runner: Any, text: str, engine: str,
 def bench_gpu_app(short: str, records: int | None = None, repeat: int = 3,
                   seed: int = 7,
                   split_bytes: int = 64 * 1024) -> dict[str, Any]:
-    """Benchmark one app's GPU-path local job under both lane engines.
+    """Benchmark one app's GPU-path local job under the three lane
+    engines.
 
     The tree side is the fully interpreted reference (tree lane engine
     *and* tree mini-C backend); the compiled side is the default
-    compiled lane engine. Beyond identical output, both runs must
-    produce bit-identical simulated task seconds — the engines feed one
-    timing model and may not drift.
+    compiled lane engine; the vector side is the numpy warp engine.
+    Beyond identical output, all runs must produce bit-identical
+    simulated task seconds — the engines feed one timing model and may
+    not drift. ``speedup`` is compiled-over-tree (the historical
+    figure); ``vector_speedup`` is vector-over-*compiled*, the honest
+    denominator for a second-generation engine.
     """
+    from . import obs
     from .hadoop.local import LocalJobRunner
 
     app = get_app(short)
@@ -158,44 +171,62 @@ def bench_gpu_app(short: str, records: int | None = None, repeat: int = 3,
     text = app.generate(n, seed=seed)
     runner = LocalJobRunner(app, use_gpu=True, split_bytes=split_bytes)
 
-    # Warm both engines (parse/compile/translate/snapshot caches).
+    # Warm all engines (parse/compile/translate/snapshot caches); the
+    # traced vector warm run also captures the region/fallback tallies
+    # off the clock (tracing is disabled during the timed rounds).
     _, tree_res = _timed_gpu_run(runner, text, "tree", "tree")
     _, compiled_res = _timed_gpu_run(runner, text, "compiled", "compiled")
-    tree_s = compiled_s = float("inf")
+    with obs.use_recorder(obs.TraceRecorder()) as rec:
+        _, vector_res = _timed_gpu_run(runner, text, "vector", "compiled")
+    vector_regions = int(rec.metrics.count("gpu.vector.regions"))
+    vector_fallbacks = int(rec.metrics.count("gpu.vector.fallbacks"))
+    tree_s = compiled_s = vector_s = float("inf")
     for _ in range(max(repeat, 1)):
         elapsed, tree_res = _timed_gpu_run(runner, text, "tree", "tree")
         tree_s = min(tree_s, elapsed)
         elapsed, compiled_res = _timed_gpu_run(runner, text, "compiled",
                                                "compiled")
         compiled_s = min(compiled_s, elapsed)
+        elapsed, vector_res = _timed_gpu_run(runner, text, "vector",
+                                             "compiled")
+        vector_s = min(vector_s, elapsed)
 
-    if tree_res.output != compiled_res.output:
-        raise ReproError(
-            f"{short}: GPU engine outputs diverge "
-            f"({len(tree_res.output)} vs {len(compiled_res.output)} keys)"
-        )
+    for name, res in (("compiled", compiled_res), ("vector", vector_res)):
+        if res.output != tree_res.output:
+            raise ReproError(
+                f"{short}: GPU engine {name} output diverges from tree "
+                f"({len(res.output)} vs {len(tree_res.output)} keys)"
+            )
     tree_sim = [r.seconds for r in tree_res.gpu_task_results]
-    compiled_sim = [r.seconds for r in compiled_res.gpu_task_results]
-    if tree_sim != compiled_sim:
-        raise ReproError(
-            f"{short}: GPU engines disagree on simulated task seconds "
-            f"({tree_sim} vs {compiled_sim})"
-        )
+    for name, res in (("compiled", compiled_res), ("vector", vector_res)):
+        sim = [r.seconds for r in res.gpu_task_results]
+        if sim != tree_sim:
+            raise ReproError(
+                f"{short}: GPU engine {name} disagrees on simulated task "
+                f"seconds ({sim} vs {tree_sim})"
+            )
     return {
         "app": short,
         "records": n,
         "output_keys": len(compiled_res.output),
-        "simulated_map_seconds": round(sum(compiled_sim), 6),
+        "simulated_map_seconds": round(sum(tree_sim), 6),
         "tree_seconds": round(tree_s, 4),
         "compiled_seconds": round(compiled_s, 4),
+        "vector_seconds": round(vector_s, 4),
         "tree_records_per_s": round(n / tree_s, 1) if tree_s else None,
         "compiled_records_per_s": round(n / compiled_s, 1)
         if compiled_s else None,
+        "vector_records_per_s": round(n / vector_s, 1)
+        if vector_s else None,
         "speedup": round(tree_s / compiled_s, 2) if compiled_s else None,
+        "vector_speedup": round(compiled_s / vector_s, 2)
+        if vector_s else None,
+        "vector_regions": vector_regions,
+        "vector_fallbacks": vector_fallbacks,
     }
 
 
-def run_gpu_bench(apps: Iterable[str] = DEFAULT_APPS,
+def run_gpu_bench(apps: Iterable[str] = DEFAULT_GPU_APPS,
                   records: int | None = None, repeat: int = 3,
                   seed: int = 7) -> dict[str, Any]:
     """Benchmark several apps on the GPU path; returns the report dict."""
@@ -205,7 +236,8 @@ def run_gpu_bench(apps: Iterable[str] = DEFAULT_APPS,
         "benchmark": "GPU lane engines, GPU-path local jobs",
         "method": ("best-of-N process_time, interleaved engine rounds, "
                    "identical output and simulated seconds enforced; "
-                   "tree = tree lane engine + tree mini-C backend"),
+                   "tree = tree lane engine + tree mini-C backend; "
+                   "vector_speedup = compiled_seconds / vector_seconds"),
         "repeat": repeat,
         "results": results,
     }
@@ -369,6 +401,25 @@ def check_min_speedup(report: dict[str, Any], minimum: float) -> list[str]:
         for r in report["results"]
         if r["speedup"] is None or r["speedup"] < minimum
     ]
+
+
+def check_min_vector_speedup(report: dict[str, Any],
+                             minimum: float) -> list[str]:
+    """Vectorized apps whose vector-over-compiled speedup is below
+    ``minimum``.
+
+    Only rows that actually vectorized (``vector_regions > 0``) are
+    gated: an app on the whole-kernel fallback path legitimately runs at
+    ~1x and proves parity, not performance. Entries carry the measured
+    figure so CI logs read without opening the report."""
+    failing = []
+    for r in report["results"]:
+        if not r.get("vector_regions"):
+            continue
+        got = r.get("vector_speedup")
+        if got is None or got < minimum:
+            failing.append(f"{r['app']} ({got}x < {minimum}x)")
+    return failing
 
 
 def check_min_wall_speedup(report: dict[str, Any],

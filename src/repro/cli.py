@@ -270,7 +270,6 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.out and len(paths) > 1:
         raise ReproError("--out needs a single --path; "
                          "use --json to write the canonical reports")
-    apps = args.apps or list(bench.DEFAULT_APPS)
     if args.workers is None:
         worker_steps = bench._DEFAULT_WORKER_STEPS
     else:
@@ -283,6 +282,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     rc = 0
     reports: dict[str, dict] = {}
     for path in paths:
+        apps = args.apps or list(
+            bench.DEFAULT_GPU_APPS if path == "gpu" else bench.DEFAULT_APPS)
         if path == "parallel":
             report = bench.run_parallel_bench(
                 apps, records=args.records, repeat=args.repeat,
@@ -309,10 +310,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         elif not args.json:
             print(f"[{path} path]")
             for r in report["results"]:
-                print(f"{r['app']:4s} {r['records']:6d} records  "
-                      f"tree {r['tree_records_per_s']:10.1f} rec/s  "
-                      f"compiled {r['compiled_records_per_s']:10.1f} rec/s  "
-                      f"speedup {r['speedup']:.2f}x")
+                line = (f"{r['app']:4s} {r['records']:6d} records  "
+                        f"tree {r['tree_records_per_s']:10.1f} rec/s  "
+                        f"compiled {r['compiled_records_per_s']:10.1f} rec/s  "
+                        f"speedup {r['speedup']:.2f}x")
+                if r.get("vector_speedup") is not None:
+                    tag = (f"{r['vector_regions']} regions"
+                           if r.get("vector_regions") else "fallback")
+                    line += (f"  vector {r['vector_speedup']:.2f}x "
+                             f"({tag})")
+                print(line)
         out = args.out or (bench.CANONICAL_REPORTS[path] if args.json else None)
         if out:
             bench.write_report(report, out)
@@ -324,6 +331,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 print(f"error: {path} path below --min-speedup "
                       f"{args.min_speedup}: {', '.join(slow)}",
                       file=sys.stderr)
+                rc = 1
+        if args.min_vector_speedup is not None and path == "gpu":
+            slow = bench.check_min_vector_speedup(report,
+                                                  args.min_vector_speedup)
+            if slow:
+                print(f"error: {path} path below --min-vector-speedup: "
+                      f"{', '.join(slow)}", file=sys.stderr)
                 rc = 1
         if args.min_wall_speedup is not None and path == "parallel":
             slow = bench.check_min_wall_speedup(report,
@@ -576,7 +590,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("bench", help="time tree-walking vs compiled "
                                      "execution on local jobs")
     p.add_argument("--apps", nargs="*", metavar="TAG",
-                   help="benchmark tags (default: WC KM)")
+                   help="benchmark tags (default: WC KM; "
+                        "gpu path: WC KM BS CL)")
     p.add_argument("--path", choices=("cpu", "gpu", "parallel", "all"),
                    default="cpu",
                    help="cpu: interpreter backends on streaming jobs; "
@@ -593,6 +608,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "BENCH_interp.json / BENCH_gpu.json for each path")
     p.add_argument("--min-speedup", type=float, default=None,
                    help="exit nonzero if any app's speedup is below this")
+    p.add_argument("--min-vector-speedup", type=float, default=None,
+                   help="--path gpu: exit nonzero if any *vectorized* "
+                        "app's vector-over-compiled speedup is below "
+                        "this (fallback apps are parity-only)")
     p.add_argument("--baseline", default=None, metavar="REPORT",
                    help="exit nonzero if any app's speedup drifts beyond "
                         "--tolerance of this committed report (the "

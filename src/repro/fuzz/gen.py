@@ -7,7 +7,12 @@ Three program kinds cover the dialect:
   flow. Differentially tested tree vs. compiled.
 * ``mapper`` — directive-annotated Streaming mappers (getline/getWord
   loops emitting KV pairs), optionally paired with a matching combiner.
-  Tested tree vs. compiled vs. the full GPU-simulated job.
+  Tested tree vs. compiled vs. the full GPU-simulated job under every
+  lane engine. Mappers mix divergence-heavy shapes (data-dependent
+  ``if``/``while`` trip counts, uneven word lengths per record) that
+  force the vector engine onto its per-lane fallback paths with
+  uniform-trip ``for`` accumulators that it vectorizes, so the oracle
+  stresses both sides of the region-eligibility fence.
 * ``combiner`` — directive-annotated sorted-KV aggregators. Tested tree
   vs. compiled, and (for integer values) against the GPU combine kernel
   under the §4.2 chunk-partial relaxation.
@@ -527,12 +532,50 @@ def _gen_mapper(rng: random.Random) -> tuple[str, str, str | None]:
             "}",
         ]
 
+    # Divergence-heavy countdown: the trip count depends on the current
+    # word, so warp lanes disagree on it and the vector engine must take
+    # its per-lane spine/fallback path. Terminates by construction (spin
+    # starts bounded by a literal modulus and strictly decreases).
+    diverge: list[str] = []
+    if rng.random() < 0.4:
+        decls.append("int spin;")
+        cap = rng.randint(2, 6)
+        diverge = [
+            f"spin = (abs(val) % {cap});",
+            "while (spin > 0) {",
+            f"    val = (val + {rng.randint(1, 3)});",
+            "    spin = (spin - 1);",
+            "}",
+        ]
+
+    # Uniform-trip accumulator: a literal-bounded for over scalars, the
+    # one shape the vector engine compiles to numpy ops over the lane
+    # axis. Float accumulation on purpose — the engine refuses varying
+    # *int* arithmetic (int64 overflow risk) but float64 ops are
+    # bit-exact between numpy and the scalar interpreters. Keeps the
+    # oracle honest on the vectorized side of the fence.
+    vec_block: list[str] = []
+    if rng.random() < 0.4:
+        decls += ["double acc;", "int rr;"]
+        trips = rng.choice((4, 8, 16))
+        frac = rng.choice(("0.25", "0.5", "1.5"))
+        vec_block = [
+            "acc = 0.0;",
+            f"for (rr = 0; rr < {trips}; rr++) {{",
+            f"    acc = (acc + ((rr * {rng.randint(1, 5)})"
+            f" * ({frac} * val)));",
+            "}",
+            f"val = (val + (((int) acc) % {rng.choice((97, 101, 251))}));",
+        ]
+
     body = [
         "offset = 0;",
         f"while ((linePtr = getWord(line, offset, word, read, {keylen})) "
         "!= -1) {",
         *["    " + ln for ln in key_setup],
         f"    val = {val_expr};",
+        *(["    " + ln for ln in diverge]),
+        *(["    " + ln for ln in vec_block]),
         *(["    " + ln for ln in cond_tweak]),
         *(["    " + ln for ln in emit]),
         "    offset += linePtr;",
@@ -554,10 +597,26 @@ def _gen_mapper(rng: random.Random) -> tuple[str, str, str | None]:
         + "\n}\n"
     )
 
+    # Uneven records: some campaigns mix near-keylength words with
+    # one-char words and wildly varying word counts, so adjacent GPU
+    # lanes walk getWord loops of very different lengths (maximum
+    # divergence across a warp).
+    uneven = rng.random() < 0.35
     lines = []
     for _ in range(rng.randint(8, 24)):
-        lines.append(" ".join(rng.choice(_VOCAB)
-                              for _ in range(rng.randint(0, 8))))
+        if uneven and rng.random() < 0.5:
+            words = []
+            for _ in range(rng.randint(0, 12)):
+                if rng.random() < 0.4:
+                    words.append("".join(
+                        rng.choice("qwertyuiop")
+                        for _ in range(rng.randint(1, keylen - 2))))
+                else:
+                    words.append(rng.choice(_VOCAB))
+            lines.append(" ".join(words))
+        else:
+            lines.append(" ".join(rng.choice(_VOCAB)
+                                  for _ in range(rng.randint(0, 8))))
     input_text = "\n".join(lines) + "\n"
 
     combine_source = None

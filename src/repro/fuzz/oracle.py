@@ -1,9 +1,9 @@
 """Differential oracle: run one case through every applicable engine.
 
-Four engines execute each eligible case: the tree and compiled CPU
+Five engines execute each eligible case: the tree and compiled CPU
 backends, the tree-walking GPU lane engine (itself run under both CPU
-backends), and the compiled GPU lane engine. Comparison boundaries,
-strictest first:
+backends), the compiled GPU lane engine, and the numpy-vectorized warp
+engine. Comparison boundaries, strictest first:
 
 * tree vs. compiled CPU backends — stdout must be byte-identical,
   :class:`ExecCounters` bit-identical, and any ``CRuntimeError`` must
@@ -234,9 +234,10 @@ def _compare_job_matrix(case: FuzzCase, app: Application,
                 f"parallel pairs={par.map_output_pairs} "
                 f"seconds={par.task_seconds()}")
     try:
-        # Three GPU configurations: the tree lane engine under both CPU
-        # backends (kernel bodies interpreted vs compiled), plus the
-        # compiled lane engine. All three must agree exactly.
+        # Four GPU configurations: the tree lane engine under both CPU
+        # backends (kernel bodies interpreted vs compiled), the compiled
+        # lane engine, and the vectorized warp engine. All must agree
+        # exactly.
         with use_gpu_engine("tree"):
             with use_backend("compiled"):
                 gpu_tc = _run_job(app, case.input_text, use_gpu=True)
@@ -244,11 +245,13 @@ def _compare_job_matrix(case: FuzzCase, app: Application,
                 gpu_tt = _run_job(app, case.input_text, use_gpu=True)
         with use_gpu_engine("compiled"):
             gpu_c = _run_job(app, case.input_text, use_gpu=True)
+        with use_gpu_engine("vector"):
+            gpu_v = _run_job(app, case.input_text, use_gpu=True)
     except ReproError as exc:
         return Divergence(case, "gpu-job-error",
                           f"{type(exc).__name__}: {exc}")
     runs = [("tree/tree", gpu_tt), ("tree/compiled", gpu_tc),
-            ("compiled", gpu_c)]
+            ("compiled", gpu_c), ("vector", gpu_v)]
     for name, gpu in runs[1:]:
         if gpu.output != gpu_tt.output:
             return Divergence(case, f"gpu-engine-output:{name}",
@@ -302,14 +305,14 @@ def scenario_case(short: str, scale: str = "small",
 
 def run_scenario(short: str, scale: str = "small",
                  seed: int | None = None) -> Divergence | None:
-    """Four-engine oracle over one registry app's canonical workload.
+    """Five-engine oracle over one registry app's canonical workload.
 
     The comparison matrix is the generated-mapper one plus a CPU
     tree-vs-compiled backend leg, with two app-appropriate adjustments:
     final CPU-vs-GPU values compare with float tolerance (compute apps
     reduce to floats, and the two paths order float additions
     differently), and the app's pure-Python reference output is checked
-    as a fifth opinion when the app defines one.
+    as one more independent opinion when the app defines one.
     """
     from ..apps import get_app
 
@@ -354,23 +357,28 @@ def _compare_combine_kernel(case: FuzzCase) -> Divergence | None:
                                     engine="compiled")
         launch_t = run_combine_kernel(device, kernel, pairs, snapshot,
                                       engine="tree")
+        launch_v = run_combine_kernel(device, kernel, pairs, snapshot,
+                                      engine="vector")
     except ReproError as exc:
         return Divergence(case, "gpu-combine-error",
                           f"{type(exc).__name__}: {exc}")
     # Lane engines must agree exactly — output pair-for-pair (including
-    # any §4.2 chunk-boundary partials), counters, and cost.
-    if launch.output != launch_t.output:
-        return Divergence(
-            case, "gpu-combine-engine-output",
-            f"tree={launch_t.output[:10]}\ncompiled={launch.output[:10]}")
-    if launch.counters != launch_t.counters:
-        return Divergence(
-            case, "gpu-combine-engine-counters",
-            f"tree={launch_t.counters}\ncompiled={launch.counters}")
-    if launch.cost != launch_t.cost:
-        return Divergence(
-            case, "gpu-combine-engine-cost",
-            f"tree={launch_t.cost}\ncompiled={launch.cost}")
+    # any §4.2 chunk-boundary partials), counters, and cost. The vector
+    # engine inherits the compiled combine path, so this leg pins the
+    # inheritance rather than a separate implementation.
+    for name, other in (("compiled", launch), ("vector", launch_v)):
+        if other.output != launch_t.output:
+            return Divergence(
+                case, f"gpu-combine-engine-output:{name}",
+                f"tree={launch_t.output[:10]}\n{name}={other.output[:10]}")
+        if other.counters != launch_t.counters:
+            return Divergence(
+                case, f"gpu-combine-engine-counters:{name}",
+                f"tree={launch_t.counters}\n{name}={other.counters}")
+        if other.cost != launch_t.cost:
+            return Divergence(
+                case, f"gpu-combine-engine-cost:{name}",
+                f"tree={launch_t.cost}\n{name}={other.cost}")
     serial_out, _ = run_filter(parse(case.source), case.input_text,
                                max_steps=_MAX_STEPS)
     serial = [parse_kv_line(ln) for ln in serial_out.splitlines() if ln]

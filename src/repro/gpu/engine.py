@@ -64,8 +64,10 @@ _VOID_PTR = T.Pointer(T.VOID)
 # --------------------------------------------------------------------------
 
 #: Lane engines: "compiled" (per-launch compiled closures, the default
-#: hot path) and "tree" (per-lane GpuInterpreter, the reference).
-GPU_ENGINES = ("compiled", "tree")
+#: hot path), "tree" (per-lane GpuInterpreter, the reference), and
+#: "vector" (numpy-vectorized warp execution of divergence-free regions,
+#: falling back to compiled closures per lane elsewhere).
+GPU_ENGINES = ("compiled", "tree", "vector")
 
 _default_engine = os.environ.get("REPRO_GPU_ENGINE", "compiled")
 
@@ -79,8 +81,12 @@ def _check_engine(name: str) -> str:
 
 
 def default_gpu_engine() -> str:
-    """The engine kernel launches use when none is passed explicitly."""
-    return _default_engine
+    """The engine kernel launches use when none is passed explicitly.
+
+    Validated on every read: an unrecognized ``REPRO_GPU_ENGINE`` must
+    fail loudly at the first launch, not silently run some other
+    engine."""
+    return _check_engine(_default_engine)
 
 
 def set_default_gpu_engine(name: str) -> str:

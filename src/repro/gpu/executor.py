@@ -55,6 +55,7 @@ from .engine import (
     snapshot_value as _snapshot_value,
 )
 from .timing import KernelCost, TimingModel, WarpCost
+from .vector import VectorLaneRunner
 
 #: Extra issue slots charged per runtime-call dispatch (mapSetup etc.).
 _SETUP_INSTR = 24.0
@@ -243,7 +244,11 @@ def _make_lane_runner(
     partitioner: Partitioner | None = None,
 ):
     name = _check_engine(engine if engine is not None else default_gpu_engine())
-    cls = CompiledLaneRunner if name == "compiled" else _TreeLaneRunner
+    cls = {
+        "compiled": CompiledLaneRunner,
+        "tree": _TreeLaneRunner,
+        "vector": VectorLaneRunner,
+    }[name]
     hook: ChargeHook = DEFAULT_CHARGE_HOOK
     rec = obs.active()
     if rec.enabled:
@@ -357,6 +362,31 @@ def _chunk_blocks(records: list[bytes], blocks: int) -> list[list[bytes]]:
     return [records[i * per : (i + 1) * per] for i in range(blocks)]
 
 
+def _warp_prerun(
+    runner: Any, lanes: list[list[bytes]], base: int
+) -> dict[int, tuple[LaneCharges, ExecCounters]] | None:
+    """Batch active lanes through the runner's warp path.
+
+    Runners exposing ``run_map_warp`` (the vector engine) execute every
+    active lane of the launch in one call — lanes never interact (the KV
+    store is per-thread and read-only tables are shared), so batching
+    across blocks is unobservable while letting a vectorized region span
+    the whole grid. The per-lane cost fold below then consumes the
+    precomputed (charges, counters) pairs instead of invoking
+    ``run_map_lane``, keeping the timing-model code identical across
+    engines. Returns ``None`` for plain per-lane runners."""
+    batch_fn = getattr(runner, "run_map_warp", None)
+    if batch_fn is None:
+        return None
+    batch = [(recs, base + i, LaneCharges(instructions=_SETUP_INSTR))
+             for i, recs in enumerate(lanes) if recs]
+    if not batch:
+        return {}
+    counters = batch_fn(batch)
+    return {tid: (charges, cnt)
+            for (_recs, tid, charges), cnt in zip(batch, counters)}
+
+
 def run_map_kernel_global_stealing(
     device: GpuDevice,
     kernel: KernelIR,
@@ -391,6 +421,7 @@ def run_map_kernel_global_stealing(
     result = MapLaunchResult()
     result.steals = steals
     block_cycles: list[float] = []
+    prerun = _warp_prerun(runner, lanes_all, 0)
     for block_id in range(launch.blocks):
         base = block_id * launch.threads
         warp_costs: list[WarpCost] = []
@@ -400,11 +431,15 @@ def run_map_kernel_global_stealing(
             wc = WarpCost()
             for lane in range(warp_start, min(warp_start + warp, launch.threads)):
                 thread_records = lanes_all[base + lane]
-                charges = LaneCharges(instructions=_SETUP_INSTR)
+                if thread_records and prerun is not None:
+                    charges, counters = prerun[base + lane]
+                else:
+                    charges = LaneCharges(instructions=_SETUP_INSTR)
                 if thread_records:
-                    counters = runner.run_map_lane(
-                        thread_records, base + lane, charges
-                    )
+                    if prerun is None:
+                        counters = runner.run_map_lane(
+                            thread_records, base + lane, charges
+                        )
                     # Swap the shared-atomic steal charges for global ones.
                     charges.global_atomics += charges.shared_atomics
                     charges.shared_atomics = 0.0
@@ -468,6 +503,7 @@ def run_map_kernel(
     block_cycles: list[float] = []
     block_records = _chunk_blocks(records, launch.blocks)
 
+    block_lanes: list[list[list[bytes]]] = []
     for block_id in range(launch.blocks):
         recs = block_records[block_id] if block_id < len(block_records) else []
         if kernel.opt.record_stealing:
@@ -478,8 +514,13 @@ def run_map_kernel(
             result.steals += steals
         else:
             lanes = _assign_records_static(recs, launch.threads)
-            steals = 0
+        block_lanes.append(lanes)
+    prerun = _warp_prerun(
+        runner, [lane for lanes in block_lanes for lane in lanes], 0
+    )
 
+    for block_id in range(launch.blocks):
+        lanes = block_lanes[block_id]
         warp_costs: list[WarpCost] = []
         lane_critical_path = 0.0
         for warp_start in range(0, launch.threads, warp):
@@ -489,12 +530,16 @@ def run_map_kernel(
             for lane in range(warp_start, min(warp_start + warp, launch.threads)):
                 thread_records = lanes[lane]
                 global_tid = block_id * launch.threads + lane
-                charges = LaneCharges(instructions=_SETUP_INSTR)
+                if thread_records and prerun is not None:
+                    charges, counters = prerun[global_tid]
+                else:
+                    charges = LaneCharges(instructions=_SETUP_INSTR)
                 if thread_records:
                     any_active = True
-                    counters = runner.run_map_lane(
-                        thread_records, global_tid, charges
-                    )
+                    if prerun is None:
+                        counters = runner.run_map_lane(
+                            thread_records, global_tid, charges
+                        )
                     result.counters = result.counters.merged(counters)
                     result.records_processed += len(thread_records)
                     issue = (

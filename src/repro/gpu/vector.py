@@ -1,0 +1,1829 @@
+"""Vectorized warp lane engine: numpy closures over the lane axis.
+
+The compiled engine (:mod:`repro.gpu.engine`) removed the per-lane
+interpreter but still executes a warp as a Python loop — 32 closure
+trees, one per lane. HeteroDoop's execution model says lanes of a warp
+run in *lockstep*; this module exploits that: divergence-free kernel
+regions compile to numpy operations over the whole warp (in practice the
+whole threadblock's active lanes), so one Python-level operation
+executes for every lane at once.
+
+Architecture
+------------
+The kernel body compiles into a *warp spine* plus *regions*:
+
+* **Spine** nodes (:class:`_WarpBlock`, :class:`_WarpWhile`,
+  :class:`_WarpIf`) carry a set of active lanes through the control
+  flow that genuinely diverges per lane (the ``getline``/``getWord``
+  record loops). Condition evaluation and region-free statements run
+  per lane via the same ``_FunctionCompiler`` closures the compiled
+  engine uses — charging, counters, and error text are shared code,
+  not replicas.
+* **Regions** (:class:`_Region`) are uniform-trip ``for`` loops whose
+  bodies pass :class:`_RegionCompiler` eligibility: straight-line
+  scalar arithmetic, reads of arrays at uniform indices, nested
+  uniform-trip loops, and ``if`` statements whose assign-only arms
+  convert to predicated ``np.where`` selects. A region executes as a
+  sequence of lane-axis numpy operations; loop trips stay sequential in
+  Python (loop-carried dependences like KM's running argmin keep exact
+  C semantics that way).
+
+Exactness
+---------
+The oracle requires byte-identical output, ``ExecCounters``, and
+``LaneCharges`` against the per-lane engines, so a region commits
+nothing until it is certain:
+
+* Computation is *pure until scatter*: inputs gather into fresh arrays,
+  every store targets the value environment, and cell/counter/charge
+  mutation happens only after the whole region succeeded. Any numpy
+  failure, precision preflight (zero divisors, negative ``sqrt``
+  operands, out-of-range int casts, |int| > 2^53 in float context), or
+  unexpected exception abandons the attempt with **zero side effects**
+  and re-executes the loop per lane through the compiled fallback
+  closure — which reproduces exact error messages, partial effects, and
+  charges. A fallback is never wrong, only slower.
+* Counter/charge accounting is *static*: trip counts are compile-time
+  constants, so ops/loads/stores/branches/fp_ops and the instruction
+  charges fold to per-entry totals (plus per-lane masked extras for
+  predicated arms). ``instructions``/``shared_accesses`` increments
+  inside regions are integral, so folding is exact under the runner's
+  power-of-two gate; the 0.02/0.08 texture/global charges *replay* —
+  ``k`` repeated numpy adds of the same constant reproduce the
+  sequential float rounding bit-for-bit.
+* Transcendental math (``exp``/``log``/``erf``/trig) runs as
+  per-element ``math.*`` loops — numpy's SIMD routines may differ in
+  the last ulp, and bit-identity outranks a constant factor. ``sqrt``
+  and ``fabs`` are IEEE-exact and use numpy directly.
+
+Whole-kernel fallback (runner behaves exactly like the compiled
+engine): numpy missing, kernel helpers (per-lane globals), a
+non-space-profile charge hook, non-power-of-two vector width or
+transaction size, or no eligible regions.
+"""
+
+from __future__ import annotations
+
+import math
+import operator
+from typing import Any, Callable
+
+try:
+    import numpy as _np
+except Exception:  # pragma: no cover - the image bakes numpy in
+    _np = None
+
+from ..compiler.kernel_ir import KernelIR, VarClass
+from ..errors import CRuntimeError
+from ..minic import cast as A
+from ..minic import ctypes as T
+from ..minic.cache import compiled_warp_body
+from ..minic.compile import (
+    _BREAK,
+    _CONT,
+    _Return,
+    _FunctionCompiler,
+    _make_flush,
+    _c_div,
+    _c_mod,
+)
+from ..minic.interpreter import ExecCounters
+from ..minic.values import Buffer, Ptr, truthy
+from ..obs import trace as obs
+from .charging import (
+    ChargeHook,
+    CountingChargeHook,
+    DEFAULT_CHARGE_HOOK,
+    LaneCharges,
+    SpaceChargeHook,
+)
+from .engine import CompiledLaneRunner, build_env_plan, kernel_program
+
+__all__ = ["VectorLaneRunner", "WarpSuite", "region_eligible"]
+
+#: Largest static trip count a region loop may have (beyond this the
+#: fold multiplicities stop being obviously safe and the per-lane
+#: engine is fine).
+_MAX_TRIPS = 65536
+#: Largest total multiplicity (product of nested trip counts).
+_MAX_MULT = 1 << 20
+#: Integers beyond 2^53 lose exactness as float64; any varying int that
+#: could reach float context must stay below this or the region abandons.
+_SAFE_INT = 1 << 53
+
+_TEX_CHARGE = 0.02
+_GLOBAL_CHARGE = 0.08
+_MATH_INSTR = 8.0
+
+#: Single-argument math builtins a region may call, with their execution
+#: strategy: "sqrt"/"abs" are IEEE-exact in numpy; "map" runs a
+#: per-element math.* loop to match the host builtin bit-for-bit.
+_REGION_MATH: dict[str, tuple[str, Callable[[float], float]]] = {
+    "sqrt": ("sqrt", math.sqrt), "sqrtf": ("sqrt", math.sqrt),
+    "fabs": ("abs", math.fabs), "fabsf": ("abs", math.fabs),
+    "exp": ("map", math.exp), "expf": ("map", math.exp),
+    "log": ("map", math.log), "logf": ("map", math.log),
+    "log2": ("map", math.log2),
+    "sin": ("map", math.sin), "sinf": ("map", math.sin),
+    "cos": ("map", math.cos), "cosf": ("map", math.cos),
+    "tan": ("map", math.tan), "atan": ("map", math.atan),
+    "erf": ("map", math.erf), "erff": ("map", math.erf),
+}
+
+_CMP_OPS = {
+    "<": operator.lt, "<=": operator.le, ">": operator.gt,
+    ">=": operator.ge, "==": operator.eq, "!=": operator.ne,
+}
+
+
+class _Ineligible(Exception):
+    """Compile-time: this For cannot become a region."""
+
+
+class _Abandon(Exception):
+    """Runtime: this region entry must re-run through the fallback."""
+
+
+class _Fault:
+    """A deferred per-lane exception (raised after the batch drains, in
+    lane order, so the first sequential failure wins)."""
+
+    __slots__ = ("exc",)
+
+    def __init__(self, exc: BaseException):
+        self.exc = exc
+
+
+def _is_pow2(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def _scalar_klass(ct: Any) -> str | None:
+    if ct is T.INT or ct is T.LONG or ct is T.SIZE_T:
+        return "i"
+    if ct is T.FLOAT or ct is T.DOUBLE:
+        return "f"
+    return None
+
+
+# --------------------------------------------------------------------------
+# Static accounting
+# --------------------------------------------------------------------------
+
+_ACCT_FIELDS = ("ops", "loads", "stores", "branches", "calls", "fp",
+                "instr", "shared", "access", "mathc", "tex", "glob",
+                "steps")
+
+
+class _Acct:
+    """Static per-region-entry totals (all integral, so the fold into
+    float charge fields is exact under the power-of-two gate)."""
+
+    __slots__ = _ACCT_FIELDS
+
+    def __init__(self) -> None:
+        for f in _ACCT_FIELDS:
+            setattr(self, f, 0)
+
+    def add(self, other: "_Acct", times: int = 1) -> None:
+        for f in _ACCT_FIELDS:
+            setattr(self, f, getattr(self, f) + getattr(other, f) * times)
+
+    def nonzero_fields(self) -> list[str]:
+        return [f for f in _ACCT_FIELDS if getattr(self, f)]
+
+
+# --------------------------------------------------------------------------
+# Region value model
+# --------------------------------------------------------------------------
+
+
+class _RVar:
+    """One scalar variable live inside a region."""
+
+    __slots__ = ("name", "rid", "klass", "varying", "slot", "outer",
+                 "assigned", "read")
+
+    def __init__(self, name: str, rid: int, klass: str, varying: bool,
+                 slot: int | None, outer: bool):
+        self.name = name
+        self.rid = rid
+        self.klass = klass
+        self.varying = varying
+        self.slot = slot
+        self.outer = outer
+        self.assigned = False
+        self.read = False
+
+
+class _RArr:
+    """One array referenced (read-only) inside a region."""
+
+    __slots__ = ("name", "slot", "uniform", "elem", "space")
+
+    def __init__(self, name: str, slot: int, uniform: bool, elem: str,
+                 space: str | None):
+        self.name = name
+        self.slot = slot
+        self.uniform = uniform
+        self.elem = elem
+        self.space = space
+
+
+class _Env:
+    """Runtime value environment for one region entry."""
+
+    __slots__ = ("n", "vals", "extra", "aspec", "amemo")
+
+    def __init__(self, n: int, nvals: int,
+                 extra_fields: tuple[str, ...]) -> None:
+        self.n = n
+        self.vals: list[Any] = [None] * nvals
+        self.extra = {f: _np.zeros(n, dtype=_np.int64) for f in extra_fields}
+        self.aspec: dict[str, tuple] = {}
+        self.amemo: dict[tuple[str, int], Any] = {}
+
+    def read_array(self, name: str, off: int):
+        key = (name, off)
+        memo = self.amemo
+        val = memo.get(key)
+        if val is None:
+            spec = self.aspec[name]
+            if spec[0] == "u":
+                buf, base = spec[1], spec[2]
+                eff = base + off
+                if buf.freed or not 0 <= eff < buf.size:
+                    raise _Abandon
+                val = buf.data[eff]
+                _check_elem(val, spec[3])
+            else:
+                pairs = spec[1]
+                elem = spec[2]
+                out = []
+                for buf, base in pairs:
+                    eff = base + off
+                    if buf.freed or not 0 <= eff < buf.size:
+                        raise _Abandon
+                    v = buf.data[eff]
+                    _check_elem(v, elem)
+                    out.append(v)
+                val = _np.array(
+                    out, dtype=_np.float64 if elem == "f" else _np.int64
+                )
+            memo[key] = val
+        return val
+
+
+def _check_elem(v: Any, elem: str) -> None:
+    if elem == "f":
+        if v.__class__ is not float:
+            raise _Abandon
+    else:
+        if v.__class__ is not int or not -_SAFE_INT <= v <= _SAFE_INT:
+            raise _Abandon
+
+
+def _safe_int(v: Any) -> int:
+    v = int(v)
+    if not -_SAFE_INT <= v <= _SAFE_INT:
+        raise _Abandon
+    return v
+
+
+# --------------------------------------------------------------------------
+# Pre-scan: name-level variance fixed point
+# --------------------------------------------------------------------------
+
+
+class _PreScan:
+    """Collects, at name granularity, which scalars a region treats as
+    *varying* (per-lane arrays) vs *uniform* (one Python scalar).
+
+    Outer (gathered) scalars are varying; loop counters are uniform by
+    construction; a local is varying once it is ever assigned under a
+    predicate or assigned a value that reads something varying. Name-
+    level conservatism is sound: a wrongly-"uniform" classification can
+    only make a scalar-consuming site raise inside the pure compute
+    phase, which abandons to the exact per-lane fallback."""
+
+    def __init__(self, arrays_varying: Callable[[str], bool]):
+        self.locals: set[str] = set()
+        self.counters: set[str] = set()
+        self.assigns: list[tuple[str, set[str], bool, bool]] = []
+        self.arrays_varying = arrays_varying
+
+    def scan_for(self, stmt: A.For) -> None:
+        init = stmt.init
+        if isinstance(init, A.DeclStmt):
+            for d in init.decls:
+                self.locals.add(d.name)
+                self.counters.add(d.name)
+        elif isinstance(init, A.ExprStmt) and isinstance(init.expr, A.Assign):
+            if isinstance(init.expr.target, A.Ident):
+                self.counters.add(init.expr.target.name)
+        self.stmt(stmt.body)
+
+    def stmt(self, s: A.Stmt, pred: bool = False) -> None:
+        if isinstance(s, A.Block):
+            for c in s.stmts:
+                self.stmt(c, pred)
+        elif isinstance(s, A.DeclStmt):
+            for d in s.decls:
+                self.locals.add(d.name)
+                if d.init is not None:
+                    self.record(d.name, d.init, pred)
+        elif isinstance(s, A.ExprStmt):
+            e = s.expr
+            if isinstance(e, A.Assign) and isinstance(e.target, A.Ident):
+                self.record(e.target.name, e.value, pred,
+                            reads_self=e.op != "=")
+            elif isinstance(e, (A.PostfixOp, A.UnaryOp)) and \
+                    isinstance(getattr(e, "operand", None), A.Ident):
+                name = e.operand.name
+                self.assigns.append((name, {name}, False, pred))
+        elif isinstance(s, A.If):
+            self.stmt(s.then, True)
+            if s.otherwise is not None:
+                self.stmt(s.otherwise, True)
+        elif isinstance(s, A.For):
+            self.scan_for(s)
+        # other statement kinds make the region ineligible later anyway
+
+    def record(self, target: str, rhs: A.Expr, pred: bool,
+               reads_self: bool = False) -> None:
+        reads: set[str] = set()
+        leaf = self.expr_leaves(rhs, reads)
+        if reads_self:
+            reads.add(target)
+        self.assigns.append((target, reads, leaf, pred))
+
+    def expr_leaves(self, e: A.Expr, reads: set[str]) -> bool:
+        """Accumulate scalar names read; return True if the expression
+        contains an intrinsically varying leaf (varying array read)."""
+        if isinstance(e, A.Ident):
+            reads.add(e.name)
+            return False
+        if isinstance(e, A.BinOp):
+            a = self.expr_leaves(e.left, reads)
+            b = self.expr_leaves(e.right, reads)
+            return a or b
+        if isinstance(e, (A.UnaryOp, A.Cast)):
+            return self.expr_leaves(e.operand, reads)
+        if isinstance(e, A.Index):
+            leaf = False
+            if isinstance(e.base, A.Ident):
+                leaf = self.arrays_varying(e.base.name)
+            return self.expr_leaves(e.index, reads) or leaf
+        if isinstance(e, A.Call):
+            leaf = False
+            for a in e.args:
+                leaf = self.expr_leaves(a, reads) or leaf
+            return leaf
+        return False
+
+    def varying_names(self) -> set[str]:
+        outer_read: set[str] = set()
+        for _t, reads, _leaf, _p in self.assigns:
+            outer_read |= reads - self.locals - self.counters
+        varying: set[str] = set(outer_read)
+        changed = True
+        while changed:
+            changed = False
+            for target, reads, leaf, pred in self.assigns:
+                if target in self.counters or target in varying:
+                    continue
+                if leaf or pred or (reads & varying):
+                    varying.add(target)
+                    changed = True
+        return varying
+
+
+# --------------------------------------------------------------------------
+# Region compilation
+# --------------------------------------------------------------------------
+
+
+class _RegionPlan:
+    """Everything needed to run one eligible For over a lane batch."""
+
+    __slots__ = ("acct", "body", "nvals", "gathers", "scatters", "arrays",
+                 "extra_fields", "counting_extra")
+
+    def __init__(self) -> None:
+        self.acct = _Acct()
+        self.body: list[Callable[[_Env], None]] = []
+        self.nvals = 0
+        self.gathers: list[_RVar] = []
+        self.scatters: list[_RVar] = []
+        self.arrays: list[_RArr] = []
+        self.extra_fields: tuple[str, ...] = ()
+
+
+class _RegionCompiler:
+    """Compiles one candidate For into a :class:`_RegionPlan`, raising
+    :class:`_Ineligible` the moment anything falls outside the
+    vectorizable subset."""
+
+    def __init__(self, comp: _FunctionCompiler,
+                 kernel_arrays: dict[str, tuple[bool, str, str | None]],
+                 stmt: A.For):
+        self.comp = comp
+        self.kernel_arrays = kernel_arrays
+        self.stmt = stmt
+        self.plan = _RegionPlan()
+        self.scopes: list[dict[str, _RVar]] = []
+        self.outers: dict[str, _RVar] = {}
+        self.arrays: dict[str, _RArr] = {}
+        self.active_counters: list[_RVar] = []
+        self.rvars: list[_RVar] = []
+        pre = _PreScan(self._array_varying)
+        pre.scan_for(stmt)
+        self.pre = pre
+        self.varying_names = pre.varying_names()
+        # A name used both as a loop counter and as an ordinary
+        # assignment target cannot be proven uniform at name level.
+        for target, _r, _l, _p in pre.assigns:
+            if target in pre.counters:
+                raise _Ineligible
+
+    # -- variable resolution ------------------------------------------
+
+    def _array_varying(self, name: str) -> bool:
+        info = self._array_info(name)
+        return True if info is None else not info[0]
+
+    def _array_info(self, name: str) -> tuple[bool, str, str | None] | None:
+        """(uniform, elem klass, expected space) or None if unknown."""
+        comp = self.comp
+        for scope in reversed(comp.scopes):
+            if name in scope:
+                ct = comp.slot_ctype.get(scope[name])
+                if isinstance(ct, T.Array):
+                    if isinstance(ct.base, T.Array):
+                        return None  # 2-D: row pointers, not element reads
+                    elem = _scalar_klass(ct.base)
+                    if elem is None:
+                        return None
+                    return (False, elem, None)
+                return None
+        return self.kernel_arrays.get(name)
+
+    def _new_rvar(self, name: str, klass: str, varying: bool,
+                  slot: int | None, outer: bool) -> _RVar:
+        rv = _RVar(name, len(self.rvars), klass, varying, slot, outer)
+        self.rvars.append(rv)
+        return rv
+
+    def ref_scalar(self, name: str) -> _RVar:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        rv = self.outers.get(name)
+        if rv is not None:
+            return rv
+        # Outer scalar: resolve through the function compiler (allocates
+        # the free slot exactly as the fallback closure would).
+        comp = self.comp
+        slot = comp.slot_for(name)
+        ct = comp.slot_ctype.get(slot)
+        klass = _scalar_klass(ct)
+        if klass is None:
+            raise _Ineligible
+        rv = self._new_rvar(name, klass, True, slot, True)
+        self.outers[name] = rv
+        return rv
+
+    def ref_array(self, name: str) -> _RArr:
+        arr = self.arrays.get(name)
+        if arr is not None:
+            return arr
+        info = self._array_info(name)
+        if info is None:
+            raise _Ineligible
+        uniform, elem, space = info
+        slot = self.comp.slot_for(name)
+        arr = _RArr(name, slot, uniform, elem, space)
+        self.arrays[name] = arr
+        return arr
+
+    def declare_local(self, name: str, klass: str) -> _RVar:
+        varying = name in self.varying_names
+        rv = self._new_rvar(name, klass, varying, None, False)
+        self.scopes[-1][name] = rv
+        return rv
+
+    # -- entry point ---------------------------------------------------
+
+    def compile(self) -> _RegionPlan:
+        plan = self.plan
+        self.scopes.append({})
+        fn = self.compile_for(self.stmt, 1, plan.acct)
+        self.scopes.pop()
+        plan.body = [fn]
+        plan.nvals = len(self.rvars)
+        plan.gathers = [rv for rv in self.rvars
+                        if rv.outer and (rv.read or rv.assigned)]
+        plan.scatters = [rv for rv in self.rvars if rv.outer and rv.assigned]
+        plan.arrays = list(self.arrays.values())
+        plan.extra_fields = tuple(sorted(self._extra_fields))
+        if plan.acct.steps <= 0:
+            raise _Ineligible  # zero-trip region: nothing to win
+        return plan
+
+    _extra_fields: set[str] = None  # type: ignore[assignment]
+
+    # -- statements ----------------------------------------------------
+
+    def compile_stmt(self, s: A.Stmt, mult: int,
+                     acct: _Acct) -> Callable[[_Env], None] | None:
+        if isinstance(s, A.Block):
+            self.scopes.append({})
+            fns = [f for c in s.stmts
+                   if (f := self.compile_stmt(c, mult, acct)) is not None]
+            self.scopes.pop()
+            if not fns:
+                return None
+            if len(fns) == 1:
+                return fns[0]
+
+            def block(env: _Env, _fns=tuple(fns)) -> None:
+                for f in _fns:
+                    f(env)
+
+            return block
+        if isinstance(s, A.DeclStmt):
+            return self.compile_decl(s, acct)
+        if isinstance(s, A.ExprStmt):
+            return self.compile_expr_stmt(s, acct)
+        if isinstance(s, A.If):
+            return self.compile_if(s, mult, acct)
+        if isinstance(s, A.For):
+            sub = _Acct()
+            fn = self.compile_for(s, mult, sub)
+            acct.add(sub)
+            return fn
+        raise _Ineligible
+
+    def compile_decl(self, s: A.DeclStmt, acct: _Acct) -> Callable:
+        fns = []
+        for d in s.decls:
+            klass = _scalar_klass(d.ctype)
+            if klass is None:
+                raise _Ineligible
+            if d.init is not None:
+                init_fn, ik, _iv = self.compile_expr(d.init, acct)
+            else:
+                init_fn, ik = None, klass
+            rv = self.declare_local(d.name, klass)
+            rid = rv.rid
+            default = 0.0 if klass == "f" else 0
+            coerce = self._coercer(klass, ik)
+            if rv.varying:
+                broadcast = self._broadcaster(klass)
+
+                def decl(env: _Env, _f=init_fn, _c=coerce, _b=broadcast,
+                         _rid=rid, _d=default) -> None:
+                    v = _d if _f is None else _c(_f(env))
+                    env.vals[_rid] = _b(env, v)
+            else:
+                def decl(env: _Env, _f=init_fn, _c=coerce,
+                         _rid=rid, _d=default) -> None:
+                    env.vals[_rid] = _d if _f is None else _c(_f(env))
+            fns.append(decl)
+        if len(fns) == 1:
+            return fns[0]
+
+        def decls(env: _Env, _fns=tuple(fns)) -> None:
+            for f in _fns:
+                f(env)
+
+        return decls
+
+    def _coercer(self, klass: str, vklass: str) -> Callable[[Any], Any]:
+        """Coerce a computed value to the declared class, mirroring the
+        compiled engine's float()/int() stores (int() on NaN/inf raises
+        there; the varying preflight abandons so the fallback raises)."""
+        if klass == vklass:
+            if klass == "i":
+                def as_int_id(v: Any) -> Any:
+                    if isinstance(v, _np.ndarray) and v.dtype != _np.int64:
+                        return v.astype(_np.int64)  # bool comparison results
+                    return v
+                return as_int_id
+            return lambda v: v
+        if klass == "f":
+            def to_float(v: Any) -> Any:
+                if isinstance(v, _np.ndarray):
+                    return v.astype(_np.float64)
+                return float(v)
+            return to_float
+
+        def to_int(v: Any) -> Any:
+            if isinstance(v, _np.ndarray):
+                if not _np.all(_np.isfinite(v)) or \
+                        _np.any(_np.abs(v) >= _SAFE_INT):
+                    raise _Abandon
+                return v.astype(_np.int64)
+            return int(v)  # ValueError/OverflowError abandons via the net
+
+        return to_int
+
+    def _broadcaster(self, klass: str) -> Callable[[_Env, Any], Any]:
+        if klass == "f":
+            def bf(env: _Env, v: Any) -> Any:
+                if isinstance(v, _np.ndarray):
+                    return v
+                return _np.full(env.n, v, dtype=_np.float64)
+            return bf
+
+        def bi(env: _Env, v: Any) -> Any:
+            if isinstance(v, _np.ndarray):
+                return v
+            return _np.full(env.n, _safe_int(v), dtype=_np.int64)
+
+        return bi
+
+    def compile_expr_stmt(self, s: A.ExprStmt, acct: _Acct) -> Callable:
+        e = s.expr
+        if isinstance(e, A.Assign) and isinstance(e.target, A.Ident):
+            return self.compile_assign(e, acct, predicated=False)
+        if isinstance(e, A.PostfixOp) and isinstance(e.operand, A.Ident) \
+                and e.op in ("++", "--"):
+            return self.compile_incdec(e.operand.name, e.op, acct, counted=True)
+        if isinstance(e, A.UnaryOp) and e.op in ("++", "--") \
+                and isinstance(e.operand, A.Ident):
+            return self.compile_incdec(e.operand.name, e.op, acct,
+                                       counted=False)
+        raise _Ineligible
+
+    def compile_incdec(self, name: str, op: str, acct: _Acct,
+                       counted: bool) -> Callable:
+        rv = self.ref_scalar(name)
+        if rv in self.active_counters or rv.klass != "i" or rv.varying:
+            raise _Ineligible  # varying int arithmetic / counter mutation
+        rv.read = True
+        rv.assigned = True
+        if counted:
+            acct.ops += 1  # postfix; prefix adds no counts (compiled parity)
+        delta = 1 if op == "++" else -1
+        rid = rv.rid
+
+        def incdec(env: _Env, _rid=rid, _d=delta) -> None:
+            env.vals[_rid] = env.vals[_rid] + _d
+
+        return incdec
+
+    def compile_assign(self, e: A.Assign, acct: _Acct,
+                       predicated: bool) -> Callable:
+        if e.op not in ("=", "+=", "-=", "*=", "/="):
+            raise _Ineligible
+        rv = self.ref_scalar(e.target.name)
+        if rv in self.active_counters:
+            raise _Ineligible
+        vf, vk, vv = self.compile_expr(e.value, acct)
+        rv.assigned = True
+        acct.stores += 1
+        acct.access += 1   # charge(None, is_store=True)
+        acct.instr += 1
+        rid = rv.rid
+        klass = rv.klass
+        if e.op == "=":
+            combine = None
+        else:
+            rv.read = True
+            acct.ops += 1
+            if klass == "f" or vk == "f":
+                acct.fp += 1
+            res_k = "f" if (klass == "f" or vk == "f") else "i"
+            if res_k == "i" and (rv.varying or vv):
+                raise _Ineligible  # varying int arithmetic
+            combine = self._combiner(e.op[:-1], rv.varying or vv)
+            vk = res_k
+        coerce = self._coercer(klass, vk)
+        if not predicated:
+            if rv.varying:
+                broadcast = self._broadcaster(klass)
+
+                def assign(env: _Env, _vf=vf, _cb=combine, _c=coerce,
+                           _b=broadcast, _rid=rid) -> None:
+                    v = _vf(env)
+                    if _cb is not None:
+                        v = _cb(env.vals[_rid], v)
+                    env.vals[_rid] = _b(env, _c(v))
+            else:
+                def assign(env: _Env, _vf=vf, _cb=combine, _c=coerce,
+                           _rid=rid) -> None:
+                    v = _vf(env)
+                    if _cb is not None:
+                        v = _cb(env.vals[_rid], v)
+                    env.vals[_rid] = _c(v)
+            return assign
+        # Predicated: target is varying by the pre-scan fixed point.
+        broadcast = self._broadcaster(klass)
+
+        def passign(env: _Env, mask: Any, _vf=vf, _cb=combine, _c=coerce,
+                    _b=broadcast, _rid=rid) -> None:
+            v = _vf(env)
+            old = env.vals[_rid]
+            if _cb is not None:
+                v = _cb(old, v)
+            new = _b(env, _c(v))
+            env.vals[_rid] = new if mask is None else _np.where(mask, new, old)
+
+        return passign
+
+    def _combiner(self, op: str, any_varying: bool) -> Callable:
+        if op == "+":
+            return operator.add
+        if op == "-":
+            return operator.sub
+        if op == "*":
+            return operator.mul
+        # division: zero divisors abandon (the fallback raises the C
+        # "division by zero" with exact partial state)
+        if not any_varying:
+            return _c_div
+
+        def div(old: Any, v: Any) -> Any:
+            if isinstance(v, _np.ndarray):
+                if _np.any(v == 0):
+                    raise _Abandon
+            elif v == 0:
+                raise _Abandon
+            return old / v
+
+        return div
+
+    def compile_if(self, s: A.If, mult: int, acct: _Acct) -> Callable:
+        cond_fn, ck, cv = self.compile_expr(s.cond, acct)
+        acct.branches += 1
+        then_extra, then_fns = self.compile_arm(s.then)
+        if s.otherwise is not None:
+            else_extra, else_fns = self.compile_arm(s.otherwise)
+        else:
+            else_extra, else_fns = None, ()
+        apply_then = self._extra_applier(then_extra)
+        apply_else = self._extra_applier(else_extra)
+
+        if cv:
+            def ifstmt(env: _Env, _cf=cond_fn, _te=apply_then,
+                       _tf=then_fns, _ee=apply_else, _ef=else_fns) -> None:
+                mask = _cf(env) != 0
+                _te(env, mask)
+                for f in _tf:
+                    f(env, mask)
+                if _ef or _ee is not _NOOP_EXTRA:
+                    inv = ~mask
+                    _ee(env, inv)
+                    for f in _ef:
+                        f(env, inv)
+
+            return ifstmt
+
+        def ifstmt_u(env: _Env, _cf=cond_fn, _te=apply_then, _tf=then_fns,
+                     _ee=apply_else, _ef=else_fns) -> None:
+            c = _cf(env)
+            if c if c.__class__ is int else truthy(c):
+                _te(env, None)
+                for f in _tf:
+                    f(env, None)
+            else:
+                _ee(env, None)
+                for f in _ef:
+                    f(env, None)
+
+        return ifstmt_u
+
+    def compile_arm(self, arm: A.Stmt) -> tuple[_Acct, tuple]:
+        """An arm is assign-only; its counts/charges become per-lane
+        masked extras applied when the If executes."""
+        extra = _Acct()
+        stmts = arm.stmts if isinstance(arm, A.Block) else [arm]
+        fns = []
+        for st in stmts:
+            if not (isinstance(st, A.ExprStmt) and
+                    isinstance(st.expr, A.Assign) and
+                    isinstance(st.expr.target, A.Ident)):
+                raise _Ineligible
+            fns.append(self.compile_assign(st.expr, extra, predicated=True))
+        if extra.steps:
+            raise _Ineligible
+        for f in extra.nonzero_fields():
+            self._extra_fields.add(f)
+        return extra, tuple(fns)
+
+    def _extra_applier(self, extra: _Acct | None) -> Callable:
+        if extra is None:
+            return _NOOP_EXTRA
+        deltas = [(f, getattr(extra, f)) for f in extra.nonzero_fields()]
+        if not deltas:
+            return _NOOP_EXTRA
+
+        def apply(env: _Env, mask: Any, _d=tuple(deltas)) -> None:
+            ex = env.extra
+            if mask is None:
+                for f, delta in _d:
+                    ex[f] += delta
+            else:
+                for f, delta in _d:
+                    ex[f][mask] += delta
+
+        return apply
+
+    # -- loops ---------------------------------------------------------
+
+    def compile_for(self, s: A.For, mult: int, acct: _Acct) -> Callable:
+        counter, start, trips, delta, init_acct, step_acct = \
+            self.parse_header(s)
+        if mult * trips > _MAX_MULT:
+            raise _Ineligible
+        acct.add(init_acct)
+        cond = _Acct()
+        cond.ops += 1
+        cond.branches += 1
+        acct.add(cond, trips + 1)
+        acct.add(step_acct, trips)
+        acct.steps += trips + 1
+        body_acct = _Acct()
+        self.active_counters.append(counter)
+        body_fn = self.compile_stmt(s.body, mult * trips, body_acct)
+        self.active_counters.pop()
+        acct.add(body_acct, trips)
+        crid = counter.rid
+        final = start + trips * delta
+
+        if body_fn is None:
+            def empty_loop(env: _Env, _rid=crid, _final=final) -> None:
+                env.vals[_rid] = _final
+            return empty_loop
+
+        def forloop(env: _Env, _rid=crid, _start=start, _trips=trips,
+                    _delta=delta, _final=final, _bf=body_fn) -> None:
+            vals = env.vals
+            c = _start
+            for _ in range(_trips):
+                vals[_rid] = c
+                _bf(env)
+                c += _delta
+            vals[_rid] = _final
+
+        return forloop
+
+    def parse_header(
+        self, s: A.For
+    ) -> tuple[_RVar, int, int, int, _Acct, _Acct]:
+        init, cond, step = s.init, s.cond, s.step
+        init_acct = _Acct()
+        # init: `c = <int>` on an existing int scalar, or `int c = <int>`
+        if isinstance(init, A.ExprStmt) and isinstance(init.expr, A.Assign) \
+                and init.expr.op == "=" \
+                and isinstance(init.expr.target, A.Ident) \
+                and isinstance(init.expr.value, A.IntLit):
+            name = init.expr.target.name
+            counter = self.ref_scalar(name)
+            if counter.klass != "i" or counter in self.active_counters:
+                raise _Ineligible
+            if not counter.outer:
+                raise _Ineligible  # local counters re-bound via DeclStmt
+            counter.assigned = True
+            counter.varying = False  # uniform by construction
+            start = init.expr.value.value
+            init_acct.stores += 1
+            init_acct.access += 1
+            init_acct.instr += 1
+        elif isinstance(init, A.DeclStmt) and len(init.decls) == 1 \
+                and isinstance(init.decls[0].init, A.IntLit) \
+                and _scalar_klass(init.decls[0].ctype) == "i":
+            d = init.decls[0]
+            self.scopes.append({})
+            counter = self.declare_local(d.name, "i")
+            counter.varying = False
+            start = d.init.value
+        else:
+            raise _Ineligible
+        # cond: `c < <int>` or `c <= <int>`
+        if not (isinstance(cond, A.BinOp) and cond.op in ("<", "<=")
+                and isinstance(cond.left, A.Ident)
+                and cond.left.name == counter.name
+                and isinstance(cond.right, A.IntLit)):
+            raise _Ineligible
+        limit = cond.right.value
+        # step: c++ / ++c / c += <int> / c = c + <int>
+        step_acct = _Acct()
+        if isinstance(step, A.PostfixOp) and step.op == "++" \
+                and isinstance(step.operand, A.Ident) \
+                and step.operand.name == counter.name:
+            delta = 1
+            step_acct.ops += 1
+        elif isinstance(step, A.UnaryOp) and step.op == "++" \
+                and isinstance(step.operand, A.Ident) \
+                and step.operand.name == counter.name:
+            delta = 1  # prefix ++ adds no counts in the compiled engine
+        elif isinstance(step, A.Assign) and step.op == "+=" \
+                and isinstance(step.target, A.Ident) \
+                and step.target.name == counter.name \
+                and isinstance(step.value, A.IntLit) and step.value.value > 0:
+            delta = step.value.value
+            step_acct.stores += 1
+            step_acct.ops += 1
+            step_acct.access += 1
+            step_acct.instr += 1
+        elif isinstance(step, A.Assign) and step.op == "=" \
+                and isinstance(step.target, A.Ident) \
+                and step.target.name == counter.name \
+                and isinstance(step.value, A.BinOp) and step.value.op == "+" \
+                and isinstance(step.value.left, A.Ident) \
+                and step.value.left.name == counter.name \
+                and isinstance(step.value.right, A.IntLit) \
+                and step.value.right.value > 0:
+            delta = step.value.right.value
+            step_acct.stores += 1
+            step_acct.ops += 1
+            step_acct.access += 1
+            step_acct.instr += 1
+        else:
+            raise _Ineligible
+        span = limit - start + (1 if cond.op == "<=" else 0)
+        trips = 0 if span <= 0 else -(-span // delta)
+        if not 0 <= trips <= _MAX_TRIPS:
+            raise _Ineligible
+        counter.read = True
+        return counter, start, trips, delta, init_acct, step_acct
+
+    # -- expressions ---------------------------------------------------
+
+    def compile_expr(self, e: A.Expr,
+                     acct: _Acct) -> tuple[Callable, str, bool]:
+        if isinstance(e, A.IntLit):
+            v = e.value
+            return (lambda env, _v=v: _v), "i", False
+        if isinstance(e, A.CharLit):
+            v = e.value
+            return (lambda env, _v=v: _v), "i", False
+        if isinstance(e, A.FloatLit):
+            v = e.value
+            return (lambda env, _v=v: _v), "f", False
+        if isinstance(e, A.Ident):
+            rv = self.ref_scalar(e.name)
+            rv.read = True
+            rid = rv.rid
+            return (lambda env, _r=rid: env.vals[_r]), rv.klass, rv.varying
+        if isinstance(e, A.BinOp):
+            return self.compile_binop(e, acct)
+        if isinstance(e, A.UnaryOp):
+            return self.compile_unary(e, acct)
+        if isinstance(e, A.Cast):
+            return self.compile_cast(e, acct)
+        if isinstance(e, A.Index):
+            return self.compile_index(e, acct)
+        if isinstance(e, A.Call):
+            return self.compile_call(e, acct)
+        raise _Ineligible
+
+    def compile_binop(self, e: A.BinOp,
+                      acct: _Acct) -> tuple[Callable, str, bool]:
+        op = e.op
+        lf, lk, lv = self.compile_expr(e.left, acct)
+        rf, rk, rv_ = self.compile_expr(e.right, acct)
+        acct.ops += 1
+        varying = lv or rv_
+        any_f = lk == "f" or rk == "f"
+        if op in ("+", "-", "*"):
+            if any_f:
+                acct.fp += 1
+            elif varying:
+                raise _Ineligible  # varying int arithmetic: overflow risk
+            pyop = {"+": operator.add, "-": operator.sub,
+                    "*": operator.mul}[op]
+
+            def arith(env: _Env, _l=lf, _r=rf, _o=pyop) -> Any:
+                return _o(_l(env), _r(env))
+
+            return arith, ("f" if any_f else "i"), varying
+        if op == "/":
+            if any_f:
+                acct.fp += 1
+            klass = "f" if any_f else "i"
+            if not varying:
+                def udiv(env: _Env, _l=lf, _r=rf) -> Any:
+                    return _c_div(_l(env), _r(env))
+                return udiv, klass, False
+            if klass == "i":
+                raise _Ineligible
+
+            def vdiv(env: _Env, _l=lf, _r=rf, _rv=rv_) -> Any:
+                l = _l(env)
+                r = _r(env)
+                if _rv:
+                    if _np.any(r == 0):
+                        raise _Abandon
+                elif r == 0:
+                    raise _Abandon
+                return l / r
+
+            return vdiv, klass, True
+        if op == "%":
+            if any_f or varying:
+                raise _Ineligible
+
+            def umod(env: _Env, _l=lf, _r=rf) -> Any:
+                return _c_mod(_l(env), _r(env))
+
+            return umod, "i", False
+        if op in _CMP_OPS:
+            if any_f:
+                acct.fp += 1
+            pyop = _CMP_OPS[op]
+            if not varying:
+                def ucmp(env: _Env, _l=lf, _r=rf, _o=pyop) -> int:
+                    return int(_o(_l(env), _r(env)))
+                return ucmp, "i", False
+            # Mixed int/float comparison: numpy converts the int side to
+            # float64, Python compares exactly — guard uniform int sides
+            # (varying ints are |v| <= 2^53 by construction).
+            guard_l = lk == "i" and not lv and rk == "f"
+            guard_r = rk == "i" and not rv_ and lk == "f"
+
+            def vcmp(env: _Env, _l=lf, _r=rf, _o=pyop, _gl=guard_l,
+                     _gr=guard_r) -> Any:
+                l = _l(env)
+                r = _r(env)
+                if _gl:
+                    l = _safe_int(l)
+                if _gr:
+                    r = _safe_int(r)
+                return _o(l, r)
+
+            return vcmp, "i", True
+        raise _Ineligible  # &&, ||, comma, bit ops: not region material
+
+    def compile_unary(self, e: A.UnaryOp,
+                      acct: _Acct) -> tuple[Callable, str, bool]:
+        if e.op == "-":
+            f, k, v = self.compile_expr(e.operand, acct)
+            acct.ops += 1
+            if k == "i" and v:
+                raise _Ineligible
+            return (lambda env, _f=f: -_f(env)), k, v
+        if e.op == "!":
+            f, k, v = self.compile_expr(e.operand, acct)
+            acct.ops += 1
+            if v:
+                def vnot(env: _Env, _f=f) -> Any:
+                    return _f(env) == 0
+                return vnot, "i", True
+
+            def unot(env: _Env, _f=f) -> int:
+                return 0 if truthy(_f(env)) else 1
+
+            return unot, "i", False
+        raise _Ineligible
+
+    def compile_cast(self, e: A.Cast,
+                     acct: _Acct) -> tuple[Callable, str, bool]:
+        f, k, v = self.compile_expr(e.operand, acct)
+        to = e.to_type
+        if to is T.FLOAT or to is T.DOUBLE:
+            if k == "f":
+                return f, "f", v
+            if v:
+                def vfloat(env: _Env, _f=f) -> Any:
+                    return _f(env).astype(_np.float64)
+                return vfloat, "f", True
+            return (lambda env, _f=f: float(_f(env))), "f", False
+        if _scalar_klass(to) == "i":
+            if k == "i":
+                return f, "i", v
+            coerce = self._coercer("i", "f")
+            return (lambda env, _f=f, _c=coerce: _c(_f(env))), "i", v
+        raise _Ineligible  # char / pointer casts
+
+    def compile_index(self, e: A.Index,
+                      acct: _Acct) -> tuple[Callable, str, bool]:
+        if not isinstance(e.base, A.Ident):
+            raise _Ineligible
+        arr = self.ref_array(e.base.name)
+        if_fn, ik, iv = self.compile_expr(e.index, acct)
+        if ik != "i" or iv:
+            raise _Ineligible  # per-lane gather indices: not worth it
+        acct.loads += 1
+        acct.access += 1
+        space = arr.space
+        if space == "texture":
+            acct.instr += 2
+            acct.tex += 1
+        elif space == "global":
+            acct.instr += 2
+            acct.glob += 1
+        elif space == "shared":
+            acct.shared += 1
+        else:
+            acct.instr += 1
+        name = arr.name
+
+        def index(env: _Env, _f=if_fn, _n=name) -> Any:
+            return env.read_array(_n, int(_f(env)))
+
+        return index, arr.elem, not arr.uniform
+
+    def compile_call(self, e: A.Call,
+                     acct: _Acct) -> tuple[Callable, str, bool]:
+        entry = _REGION_MATH.get(e.func)
+        if entry is None or len(e.args) != 1:
+            raise _Ineligible
+        kind, pyfn = entry
+        af, ak, av = self.compile_expr(e.args[0], acct)
+        acct.calls += 1
+        acct.instr += int(_MATH_INSTR)
+        acct.fp += 4
+        acct.mathc += 1
+        if not av:
+            def umath(env: _Env, _f=af, _p=pyfn) -> float:
+                try:
+                    return _p(float(_f(env)))
+                except (ValueError, OverflowError):
+                    raise _Abandon from None
+            return umath, "f", False
+        if kind == "sqrt":
+            def vsqrt(env: _Env, _f=af) -> Any:
+                x = _f(env)
+                if x.dtype != _np.float64:
+                    x = x.astype(_np.float64)
+                if _np.any(x < 0):
+                    raise _Abandon  # math.sqrt raises; fallback reproduces
+                return _np.sqrt(x)
+            return vsqrt, "f", True
+        if kind == "abs":
+            def vabs(env: _Env, _f=af) -> Any:
+                x = _f(env)
+                if x.dtype != _np.float64:
+                    x = x.astype(_np.float64)
+                return _np.abs(x)
+            return vabs, "f", True
+
+        def vmath(env: _Env, _f=af, _p=pyfn) -> Any:
+            x = _f(env)
+            if x.dtype != _np.float64:
+                x = x.astype(_np.float64)
+            try:
+                out = [_p(v) for v in x.tolist()]
+            except (ValueError, OverflowError):
+                raise _Abandon from None
+            return _np.array(out, dtype=_np.float64)
+
+        return vmath, "f", True
+
+
+def _NOOP_EXTRA(env: _Env, mask: Any) -> None:
+    return None
+
+
+def _compile_region(comp: _FunctionCompiler,
+                    kernel_arrays: dict[str, tuple[bool, str, str | None]],
+                    stmt: A.For) -> _RegionPlan:
+    rc = _RegionCompiler(comp, kernel_arrays, stmt)
+    rc._extra_fields = set()
+    return rc.compile()
+
+
+def region_eligible(comp_or_none: _FunctionCompiler | None,
+                    kernel_arrays: dict, stmt: A.For) -> bool:
+    """Testing hook: would this For vectorize? (Fresh compiler scope.)"""
+    if _np is None:
+        return False
+    comp = comp_or_none
+    if comp is None:
+        from ..minic.compile import CompiledProgram
+        comp = _FunctionCompiler(CompiledProgram(A.Program(functions=[])))
+        comp.scopes.append({})
+    try:
+        _compile_region(comp, kernel_arrays, stmt)
+        return True
+    except _Ineligible:
+        return False
+
+
+# --------------------------------------------------------------------------
+# Warp spine nodes
+# --------------------------------------------------------------------------
+
+
+class _WarpExec:
+    """Per-batch execution context: the lanes and the shared facade/state
+    that per-lane closures read through."""
+
+    __slots__ = ("lanes", "facade", "state", "runner")
+
+    def __init__(self, lanes: list, facade: Any, state: Any, runner: Any):
+        self.lanes = lanes
+        self.facade = facade
+        self.state = state
+        self.runner = runner
+
+    def bind(self, i: int) -> Any:
+        lane = self.lanes[i]
+        state = self.state
+        state.records = lane.records
+        state.index = lane.index
+        state.charges = lane.charges
+        state.global_tid = lane.global_tid
+        facade = self.facade
+        facade.counters = lane.counters
+        facade.heap = lane.heap
+        facade._stdout = lane.stdout
+        return lane
+
+    def unbind(self, lane: Any) -> None:
+        lane.index = self.state.index
+        lane.stdout = self.facade._stdout
+
+
+class _Lane:
+    """One lane's full execution context across the warp run."""
+
+    __slots__ = ("records", "index", "charges", "global_tid", "counters",
+                 "heap", "stdout", "frame", "rt")
+
+
+class _LaneStmt:
+    """A region-free subtree: the compiled per-lane closure, run for each
+    active lane in turn."""
+
+    __slots__ = ("fns",)
+
+    def __init__(self, fns: tuple[Callable, ...]):
+        self.fns = fns
+
+    def run(self, idxs: list[int], ex: _WarpExec) -> dict[int, Any]:
+        out: dict[int, Any] = {}
+        fns = self.fns
+        for i in idxs:
+            lane = ex.bind(i)
+            try:
+                sig = None
+                for fn in fns:
+                    sig = fn(lane.rt, lane.frame)
+                    if sig is not None:
+                        break
+            except Exception as exc:
+                out[i] = _Fault(exc)
+            else:
+                if sig is not None:
+                    out[i] = sig
+            ex.unbind(lane)
+        return out
+
+
+class _WarpBlock:
+    __slots__ = ("children",)
+
+    def __init__(self, children: list):
+        self.children = children
+
+    def run(self, idxs: list[int], ex: _WarpExec) -> dict[int, Any]:
+        out: dict[int, Any] = {}
+        active = idxs
+        for child in self.children:
+            sigs = child.run(active, ex)
+            if sigs:
+                out.update(sigs)
+                active = [i for i in active if i not in sigs]
+                if not active:
+                    break
+        return out
+
+
+class _WarpIf:
+    __slots__ = ("cond_fn", "flush", "then_node", "else_node")
+
+    def __init__(self, cond_fn, flush, then_node, else_node):
+        self.cond_fn = cond_fn
+        self.flush = flush
+        self.then_node = then_node
+        self.else_node = else_node
+
+    def run(self, idxs: list[int], ex: _WarpExec) -> dict[int, Any]:
+        out: dict[int, Any] = {}
+        t_lanes: list[int] = []
+        f_lanes: list[int] = []
+        cond_fn = self.cond_fn
+        flush = self.flush
+        for i in idxs:
+            lane = ex.bind(i)
+            try:
+                flush(lane.rt.counters)
+                cond = cond_fn(lane.rt, lane.frame)
+            except Exception as exc:
+                out[i] = _Fault(exc)
+                ex.unbind(lane)
+                continue
+            ex.unbind(lane)
+            if cond if cond.__class__ is int else truthy(cond):
+                t_lanes.append(i)
+            else:
+                f_lanes.append(i)
+        if t_lanes and self.then_node is not None:
+            out.update(self.then_node.run(t_lanes, ex))
+        if f_lanes and self.else_node is not None:
+            out.update(self.else_node.run(f_lanes, ex))
+        return out
+
+
+class _WarpWhile:
+    __slots__ = ("cond_fn", "flush", "body")
+
+    def __init__(self, cond_fn, flush, body):
+        self.cond_fn = cond_fn
+        self.flush = flush
+        self.body = body
+
+    def run(self, idxs: list[int], ex: _WarpExec) -> dict[int, Any]:
+        out: dict[int, Any] = {}
+        active = list(idxs)
+        cond_fn = self.cond_fn
+        flush = self.flush
+        body = self.body
+        while active:
+            body_lanes: list[int] = []
+            for i in active:
+                lane = ex.bind(i)
+                rt = lane.rt
+                try:
+                    rt.steps = steps = rt.steps + 1
+                    if steps > rt.max_steps:
+                        raise CRuntimeError(
+                            f"execution exceeded {rt.max_steps} steps "
+                            "(runaway loop?)"
+                        )
+                    flush(rt.counters)
+                    cond = cond_fn(rt, lane.frame)
+                except Exception as exc:
+                    out[i] = _Fault(exc)
+                    ex.unbind(lane)
+                    continue
+                ex.unbind(lane)
+                if cond if cond.__class__ is int else truthy(cond):
+                    body_lanes.append(i)
+            if not body_lanes:
+                break
+            sigs = body.run(body_lanes, ex)
+            nxt: list[int] = []
+            for i in body_lanes:
+                sig = sigs.get(i)
+                if sig is None or sig is _CONT:
+                    nxt.append(i)
+                elif sig is not _BREAK:
+                    out[i] = sig  # _Return or _Fault
+            active = nxt
+        return out
+
+
+class _Region:
+    """An eligible For: vectorize the batch, or fall back per lane with
+    zero side effects from the abandoned attempt."""
+
+    __slots__ = ("plan", "fallback")
+
+    def __init__(self, plan: _RegionPlan, fallback: Callable):
+        self.plan = plan
+        self.fallback = fallback
+
+    def run(self, idxs: list[int], ex: _WarpExec) -> dict[int, Any]:
+        if not idxs:
+            return {}
+        prep = None
+        try:
+            with _np.errstate(all="ignore"):
+                prep = _region_execute(self.plan, idxs, ex)
+        except Exception:
+            prep = None  # _Abandon or anything unexpected: pure, so safe
+        if prep is not None:
+            _region_commit(self.plan, prep, idxs, ex)
+            ex.runner.vector_regions += 1
+            return {}
+        ex.runner.vector_fallbacks += 1
+        out: dict[int, Any] = {}
+        fallback = self.fallback
+        for i in idxs:
+            lane = ex.bind(i)
+            try:
+                sig = fallback(lane.rt, lane.frame)
+            except Exception as exc:
+                out[i] = _Fault(exc)
+            else:
+                if sig is not None:  # pragma: no cover - regions lack jumps
+                    out[i] = sig
+            ex.unbind(lane)
+        return out
+
+
+def _region_execute(plan: _RegionPlan, idxs: list[int],
+                    ex: _WarpExec) -> tuple | None:
+    lanes = [ex.lanes[i] for i in idxs]
+    n = len(lanes)
+    acct = plan.acct
+    max_steps = lanes[0].rt.max_steps
+    for lane in lanes:
+        if lane.rt.steps + acct.steps > max_steps:
+            return None  # budget would trip mid-loop: sequential semantics
+    env = _Env(n, plan.nvals, plan.extra_fields)
+    # Gather scalars (cells untouched; preflight classes and magnitudes).
+    cells: dict[int, list] = {}
+    for rv in plan.gathers:
+        slot = rv.slot
+        row = []
+        vals = []
+        for lane in lanes:
+            cell = lane.frame[slot]
+            if cell is None:
+                return None  # fallback raises "undeclared identifier"
+            row.append(cell)
+            vals.append(cell.value)
+        cells[rv.rid] = row
+        if rv.klass == "f":
+            for v in vals:
+                if v.__class__ is not float:
+                    return None
+            env.vals[rv.rid] = _np.array(vals, dtype=_np.float64)
+        else:
+            for v in vals:
+                if v.__class__ is not int or not -_SAFE_INT <= v <= _SAFE_INT:
+                    return None
+            env.vals[rv.rid] = _np.array(vals, dtype=_np.int64)
+    for rv in plan.scatters:
+        if rv.rid not in cells:
+            row = []
+            for lane in lanes:
+                cell = lane.frame[rv.slot]
+                if cell is None:
+                    return None
+                row.append(cell)
+            cells[rv.rid] = row
+    # Resolve arrays (reads are lazy + memoized in env).
+    for arr in plan.arrays:
+        spec = _resolve_array(arr, lanes)
+        if spec is None:
+            return None
+        env.aspec[arr.name] = spec
+    # Pure compute.
+    for fn in plan.body:
+        fn(env)
+    # Prepare scatter values as plain Python data (nothing mutated yet).
+    writes = []
+    for rv in plan.scatters:
+        v = env.vals[rv.rid]
+        conv = float if rv.klass == "f" else int
+        if isinstance(v, _np.ndarray):
+            writes.append((cells[rv.rid], [conv(x) for x in v.tolist()]))
+        else:
+            writes.append((cells[rv.rid], [conv(v)] * n))
+    # Charge folds and replays (reads only).
+    ex_get = env.extra.get
+    zeros = None
+
+    def extra_or_zero(fname: str):
+        nonlocal zeros
+        arr = ex_get(fname)
+        if arr is None:
+            if zeros is None:
+                zeros = _np.zeros(n, dtype=_np.int64)
+            arr = zeros
+        return arr
+
+    tex_new = _replay(acct.tex, ex_get("tex"), lanes, "texture_accesses",
+                      _TEX_CHARGE, n)
+    glob_new = _replay(acct.glob, ex_get("glob"), lanes, "global_txn",
+                       _GLOBAL_CHARGE, n)
+    counts = {f: extra_or_zero(f) for f in
+              ("ops", "loads", "stores", "branches", "calls", "fp",
+               "instr", "shared", "access", "mathc")}
+    return (writes, counts, tex_new, glob_new)
+
+
+def _replay(base: int, extra: Any, lanes: list, field: str, charge: float,
+            n: int):
+    """Reproduce k sequential `+= charge` float additions per lane."""
+    if base == 0 and extra is None:
+        return None
+    t = _np.array([getattr(lane.charges, field) for lane in lanes],
+                  dtype=_np.float64)
+    if extra is None:
+        for _ in range(base):
+            t += charge
+    else:
+        ks = base + extra
+        kmax = int(ks.max())
+        for j in range(kmax):
+            t[ks > j] += charge
+    return t
+
+
+def _resolve_array(arr: _RArr, lanes: list) -> tuple | None:
+    pairs = []
+    for lane in lanes:
+        cell = lane.frame[arr.slot]
+        if cell is None:
+            return None
+        v = cell.value
+        if v.__class__ is Buffer:
+            buf, base = v, 0
+        elif v.__class__ is Ptr:
+            if v.stride != 1 or v.buffer is None:
+                return None
+            buf, base = v.buffer, v.offset
+        else:
+            return None
+        if buf.freed or buf.inner_dim is not None or buf.space != arr.space:
+            return None
+        elem = _scalar_klass(buf.elem_type)
+        if elem != arr.elem:
+            return None
+        pairs.append((buf, base))
+    if arr.uniform:
+        buf0, base0 = pairs[0]
+        for buf, base in pairs[1:]:
+            if buf is not buf0 or base != base0:
+                return None
+        return ("u", buf0, base0, arr.elem)
+    return ("v", pairs, arr.elem)
+
+
+def _region_commit(plan: _RegionPlan, prep: tuple, idxs: list[int],
+                   ex: _WarpExec) -> None:
+    writes, counts, tex_new, glob_new = prep
+    lanes = [ex.lanes[i] for i in idxs]
+    acct = plan.acct
+    ops = counts["ops"]
+    loads = counts["loads"]
+    stores = counts["stores"]
+    branches = counts["branches"]
+    calls = counts["calls"]
+    fp = counts["fp"]
+    instr = counts["instr"]
+    shared = counts["shared"]
+    for j, lane in enumerate(lanes):
+        c = lane.counters
+        c.ops += acct.ops + int(ops[j])
+        c.loads += acct.loads + int(loads[j])
+        c.stores += acct.stores + int(stores[j])
+        c.branches += acct.branches + int(branches[j])
+        c.calls += acct.calls + int(calls[j])
+        c.fp_ops += acct.fp + int(fp[j])
+        ch = lane.charges
+        ch.instructions += float(acct.instr + int(instr[j]))
+        if acct.shared or shared[j]:
+            ch.shared_accesses += float(acct.shared + int(shared[j]))
+        if tex_new is not None:
+            ch.texture_accesses = float(tex_new[j])
+        if glob_new is not None:
+            ch.global_txn = float(glob_new[j])
+        lane.rt.steps += acct.steps
+    for row, values in writes:
+        for j, cell in enumerate(row):
+            cell.value = values[j]
+    hook = ex.runner.hook
+    if isinstance(hook, CountingChargeHook):
+        # Region execution bypasses the hook; replicate its per-event
+        # launch metrics so traced runs stay engine-independent.
+        n = len(lanes)
+        access = counts["access"]
+        mathc = counts["mathc"]
+        total_access = n * acct.access + int(access.sum())
+        total_math = n * acct.mathc + int(mathc.sum())
+        if total_access:
+            hook.metrics.inc("gpu.accesses", float(total_access))
+        if total_math:
+            hook.metrics.inc("gpu.math_calls", float(total_math))
+
+
+# --------------------------------------------------------------------------
+# Warp suite: the compiled spine + regions for one kernel body
+# --------------------------------------------------------------------------
+
+
+def _contains_for(s: A.Stmt) -> bool:
+    if isinstance(s, A.For):
+        return True
+    if isinstance(s, A.Block):
+        return any(_contains_for(c) for c in s.stmts)
+    if isinstance(s, A.If):
+        return _contains_for(s.then) or (
+            s.otherwise is not None and _contains_for(s.otherwise))
+    if isinstance(s, A.While):
+        return _contains_for(s.body)
+    return False
+
+
+class _WarpCompiler:
+    def __init__(self, comp: _FunctionCompiler, kernel: KernelIR):
+        self.comp = comp
+        self.regions = 0
+        arrays: dict[str, tuple[bool, str, str | None]] = {}
+        for var in kernel.variables.values():
+            ct = var.ctype
+            if not isinstance(ct, T.Array) or isinstance(ct.base, T.Array):
+                continue
+            elem = _scalar_klass(ct.base)
+            if elem is None:
+                continue
+            if var.klass is VarClass.TEXTURE_ARRAY:
+                arrays[var.kernel_name] = (True, elem, "texture")
+            elif var.klass is VarClass.GLOBAL_RO_ARRAY:
+                arrays[var.kernel_name] = (True, elem, "global")
+            elif var.klass is VarClass.SHARED_ARRAY:
+                arrays[var.kernel_name] = (False, elem, "shared")
+            elif var.klass in (VarClass.FIRSTPRIVATE_ARRAY, VarClass.PRIVATE):
+                arrays[var.kernel_name] = (False, elem, "private")
+        self.kernel_arrays = arrays
+
+    def compile_stmt(self, s: A.Stmt):
+        comp = self.comp
+        if isinstance(s, A.For):
+            plan = None
+            try:
+                plan = _compile_region(comp, self.kernel_arrays, s)
+            except _Ineligible:
+                plan = None
+            fallback = comp._flushed_stmt(s)
+            if plan is None:
+                return _LaneStmt((fallback,))
+            self.regions += 1
+            return _Region(plan, fallback)
+        if isinstance(s, A.Block):
+            comp.scopes.append({})
+            children: list = []
+            run: list[Callable] = []
+            for c in s.stmts:
+                if _contains_for(c):
+                    if run:
+                        children.append(_LaneStmt(tuple(run)))
+                        run = []
+                    children.append(self.compile_stmt(c))
+                else:
+                    run.append(comp._flushed_stmt(c))
+            if run:
+                children.append(_LaneStmt(tuple(run)))
+            comp.scopes.pop()
+            if len(children) == 1:
+                return children[0]
+            return _WarpBlock(children)
+        if isinstance(s, A.If):
+            cond_fn, cnt = comp.compile_expr(s.cond)
+            cnt.branches += 1
+            flush = _make_flush(cnt) or _noflush
+            then_node = self.compile_stmt(s.then)
+            else_node = (self.compile_stmt(s.otherwise)
+                         if s.otherwise is not None else None)
+            return _WarpIf(cond_fn, flush, then_node, else_node)
+        if isinstance(s, A.While):
+            cond_fn, cnt = comp.compile_expr(s.cond)
+            cnt.branches += 1
+            flush = _make_flush(cnt) or _noflush
+            return _WarpWhile(cond_fn, flush, self.compile_stmt(s.body))
+        return _LaneStmt((comp._flushed_stmt(s),))
+
+
+def _noflush(counters: Any) -> None:  # pragma: no cover - branches flush
+    return None
+
+
+class WarpSuite:
+    """The warp-compiled form of one kernel body: spine + regions over a
+    shared frame layout (same ``nslots``/``frees`` contract as
+    :class:`~repro.minic.compile.CompiledSuite`, so
+    :func:`~repro.gpu.engine.build_env_plan` applies unchanged)."""
+
+    def __init__(self, stmt: A.Stmt, cp: Any, free_ctypes: dict | None,
+                 kernel: KernelIR):
+        comp = _FunctionCompiler(cp)
+        if free_ctypes:
+            comp.free_ctypes = free_ctypes
+        comp.scopes.append({})
+        wc = _WarpCompiler(comp, kernel)
+        self.root = wc.compile_stmt(stmt)
+        self.regions = wc.regions
+        self._nslots = comp.nslots
+        self._frees = tuple(comp.free.items())
+        self.cp = cp
+
+    @property
+    def nslots(self) -> int:
+        return self._nslots
+
+    @property
+    def frees(self) -> tuple[tuple[str, int], ...]:
+        return self._frees
+
+
+# --------------------------------------------------------------------------
+# The vector lane runner
+# --------------------------------------------------------------------------
+
+
+def _space_profile(hook: ChargeHook) -> bool:
+    if isinstance(hook, CountingChargeHook):
+        return isinstance(hook.inner, SpaceChargeHook)
+    return isinstance(hook, SpaceChargeHook)
+
+
+class VectorLaneRunner(CompiledLaneRunner):
+    """Compiled lane runner that batches map lanes through the warp
+    spine. Combine chunks and every fallback path inherit the compiled
+    engine unchanged — same closures, same cache."""
+
+    def __init__(self, device: Any, kernel: KernelIR, snapshot: dict,
+                 shared_ro: dict, store: Any = None, partitioner: Any = None,
+                 hook: ChargeHook = DEFAULT_CHARGE_HOOK):
+        super().__init__(device, kernel, snapshot, shared_ro, store,
+                         partitioner, hook=hook)
+        self.vector_regions = 0
+        self.vector_fallbacks = 0
+        self._warp: WarpSuite | None = None
+        self._warp_plan_cache = None
+        if (_np is not None
+                and kernel.is_mapper
+                and not kernel.helpers
+                and _space_profile(hook)
+                and _is_pow2(max(kernel.vector_width, 1))
+                and _is_pow2(device.spec.transaction_bytes)):
+            free_cts = {
+                var.kernel_name: var.ctype
+                for var in kernel.variables.values()
+                if var.klass in (VarClass.CONST_SCALAR,
+                                 VarClass.FIRSTPRIVATE_SCALAR,
+                                 VarClass.PRIVATE)
+                and not isinstance(var.ctype, T.Array)
+            }
+            suite = compiled_warp_body(
+                kernel_program(kernel), kernel.body, hook.profile_key,
+                lambda cp: WarpSuite(kernel.body, cp, free_cts, kernel),
+            )
+            if suite.regions > 0:
+                self._warp = suite
+
+    def _warp_env_plan(self):
+        plan = self._warp_plan_cache
+        if plan is None:
+            plan = self._warp_plan_cache = build_env_plan(
+                self._warp, self.kernel, self.snapshot, self.shared_ro
+            )
+        return plan
+
+    def run_map_warp(
+        self, batch: list[tuple[list[bytes], int, LaneCharges]]
+    ) -> list[ExecCounters]:
+        """Run a block's active lanes as one warp-spine pass. Returns
+        per-lane counters in batch order; the per-lane ``charges``
+        objects are charged in place, exactly as ``run_map_lane``."""
+        r0, f0 = self.vector_regions, self.vector_fallbacks
+        if self._warp is None:
+            self.vector_fallbacks += 1
+            result = [self.run_map_lane(recs, tid, charges)
+                      for recs, tid, charges in batch]
+        else:
+            result = self._run_warp_batch(batch)
+        rec = obs.active()
+        if rec.enabled:
+            if self.vector_regions > r0:
+                rec.inc("gpu.vector.regions",
+                        float(self.vector_regions - r0))
+            if self.vector_fallbacks > f0:
+                rec.inc("gpu.vector.fallbacks",
+                        float(self.vector_fallbacks - f0))
+        return result
+
+    def _run_warp_batch(self, batch) -> list[ExecCounters]:
+        warp = self._warp
+        plan = self._warp_env_plan()
+        facade = self.facade
+        cp = warp.cp
+        nslots = warp.nslots
+        lanes: list[_Lane] = []
+        for recs, tid, charges in batch:
+            lane = _Lane()
+            lane.records = recs
+            lane.index = 0
+            lane.charges = charges
+            lane.global_tid = tid
+            lane.counters = ExecCounters()
+            lane.heap = []
+            lane.stdout = None
+            frame: list = [None] * nslots
+            for slot, make in plan:
+                frame[slot] = make()
+            lane.frame = frame
+            facade.counters = lane.counters
+            facade.heap = lane.heap
+            facade._steps = 0
+            facade._stdout = None
+            lane.rt = cp.runtime(facade)
+            lanes.append(lane)
+        ex = _WarpExec(lanes, facade, self.state, self)
+        sigs = warp.root.run(list(range(len(lanes))), ex)
+        for i in range(len(lanes)):
+            sig = sigs.get(i)
+            if sig is not None and sig.__class__ is _Fault:
+                # The first failing lane in sequential order wins; later
+                # lanes' partial effects die with the launch.
+                raise sig.exc
+        return [lane.counters for lane in lanes]

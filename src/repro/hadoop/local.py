@@ -96,8 +96,8 @@ class LocalJobRunner:
         fileSplit size for input splitting (tests use small splits; the
         real 256 MB default would make functional runs needlessly slow).
     gpu_engine:
-        GPU lane engine name (``"compiled"``/``"tree"``), or None for
-        the process default.
+        GPU lane engine name (``"compiled"``/``"tree"``/``"vector"``),
+        or None for the process default.
     workers:
         Worker processes for the map phase. None defers to the
         ``REPRO_WORKERS`` environment variable (default 1 = serial); 0

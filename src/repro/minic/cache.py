@@ -42,6 +42,7 @@ _ATTR_KEY = "_repro_cache_key"
 _ATTR_COMPILED = "_repro_compiled"
 _ATTR_SUITE = "_repro_compiled_suite"
 _ATTR_KERNEL_BODIES = "_repro_compiled_kernel_bodies"
+_ATTR_WARP_BODIES = "_repro_compiled_warp_bodies"
 _ATTR_STRLITS = "_repro_strlit_buffers"
 
 #: source-hash key → CompiledProgram (or (program, CompiledProgram) for
@@ -112,6 +113,30 @@ def compiled_kernel_body(program: A.Program, stmt: A.Stmt,
         # free_ctypes derives deterministically from the kernel (and so
         # from the program), so it does not need its own cache dimension.
         suite = CompiledSuite(stmt, cp, free_ctypes)
+        cache[profile_key] = suite
+    return suite
+
+
+def compiled_warp_body(program: A.Program, stmt: A.Stmt,
+                       profile_key: str,
+                       build: Callable[[Any], Any]) -> Any:
+    """The warp-compiled form of a GPU kernel body (vector lane engine),
+    cached per (statement, program, charge profile) exactly like
+    :func:`compiled_kernel_body`.
+
+    ``build(cp)`` constructs the suite from the compiled program — a
+    callback so this module never imports the GPU layer. The artifact
+    only depends on the program and the charge profile (eligibility
+    gates that involve launch geometry are checked by the caller before
+    consulting the cache)."""
+    cp = compiled_program(program)
+    cache = stmt.__dict__.get(_ATTR_WARP_BODIES)
+    if cache is None:
+        cache = {}
+        setattr(stmt, _ATTR_WARP_BODIES, cache)
+    suite = cache.get(profile_key)
+    if suite is None or suite.cp is not cp:
+        suite = build(cp)
         cache[profile_key] = suite
     return suite
 

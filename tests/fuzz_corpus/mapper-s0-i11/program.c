@@ -1,0 +1,29 @@
+int main()
+{
+    char word[30];
+    char *line;
+    size_t nbytes = 10000;
+    int read;
+    int linePtr;
+    int offset;
+    int val;
+    double acc;
+    int rr;
+    line = (char*) malloc(nbytes*sizeof(char));
+    #pragma mapreduce mapper key(word) value(val) keylength(30) kvpairs(20)
+    while ((read = getline(&line, &nbytes, stdin)) != -1) {
+        offset = 0;
+        while ((linePtr = getWord(line, offset, word, read, 30)) != -1) {
+            val = strlen(word);
+            acc = 0.0;
+            for (rr = 0; rr < 8; rr++) {
+                acc = (acc + ((rr * 5) * (0.5 * val)));
+            }
+            val = (val + (((int) acc) % 251));
+            printf("%s\t%d\n", word, val);
+            offset += linePtr;
+        }
+    }
+    free(line);
+    return 0;
+}

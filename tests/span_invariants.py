@@ -97,3 +97,24 @@ def assert_phase_sums(rec: TraceRecorder, task_cat: str,
 def assert_standard_invariants(rec: TraceRecorder) -> None:
     assert_all_closed(rec)
     assert_no_partial_overlap(rec)
+
+
+def assert_phase_spans_identical(ref: TraceRecorder,
+                                 other: TraceRecorder) -> None:
+    """Two traced runs laid down *exactly* the same phase spans.
+
+    This is the GPU lane-engine contract: an alternative engine (vector,
+    tree) may execute a kernel any way it likes, but the Fig. 6 phase
+    spans it records — name, track, start, duration — must be
+    byte-identical to the reference engine's, with no tolerance: the
+    simulated clock is deterministic arithmetic, not measurement."""
+    def key(rec):
+        return [(s.pid, s.tid, s.name, s.ts, s.dur)
+                for s in rec.spans("phase")]
+
+    ref_spans, other_spans = key(ref), key(other)
+    assert other_spans == ref_spans, (
+        "phase spans diverged: "
+        + next((f"{a} != {b}" for a, b in zip(ref_spans, other_spans)
+                if a != b), "span count differs")
+    )

@@ -46,7 +46,7 @@ COMBINER_TAGS = [app.short for app in all_apps() if app.has_combiner]
 class TestEngineSelection:
     def test_compiled_is_the_default(self):
         assert default_gpu_engine() == "compiled"
-        assert GPU_ENGINES == ("compiled", "tree")
+        assert GPU_ENGINES == ("compiled", "tree", "vector")
 
     def test_set_default_returns_previous(self):
         prev = set_default_gpu_engine("tree")
@@ -197,11 +197,16 @@ class TestMapKernelEngines:
                    Partitioner(4), engine=e)
             for e in GPU_ENGINES
         }
-        tree, comp = launches["tree"], launches["compiled"]
-        assert comp.records_processed == tree.records_processed == len(records)
-        assert comp.counters == tree.counters
-        assert comp.cost == tree.cost
-        assert _store_pairs(stores["compiled"]) == _store_pairs(stores["tree"])
+        tree = launches["tree"]
+        for e in GPU_ENGINES:
+            if e == "tree":
+                continue
+            other = launches[e]
+            assert other.records_processed == tree.records_processed \
+                == len(records), e
+            assert other.counters == tree.counters, e
+            assert other.cost == tree.cost, e
+            assert _store_pairs(stores[e]) == _store_pairs(stores["tree"]), e
 
 
 # -- fuzz corpus through the four-engine oracle -----------------------------

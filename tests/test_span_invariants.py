@@ -19,7 +19,10 @@ from repro.hadoop.local import LocalJobRunner
 from repro.scenarios import records_for
 from repro.scheduling import TailPolicy
 
+from repro.gpu import use_gpu_engine
+
 from .span_invariants import (
+    assert_phase_spans_identical,
     assert_phase_sums,
     assert_standard_invariants,
     phase_children,
@@ -28,11 +31,12 @@ from .span_invariants import (
 APP_TAGS = [app.short for app in all_apps()]
 
 
-def _traced_local_run(short: str, use_gpu: bool):
+def _traced_local_run(short: str, use_gpu: bool, gpu_engine: str | None = None):
     # Registry "small" counts: enough for a few map tasks each.
     app = get_app(short)
     text = app.generate(records_for(short, "small"), seed=7)
-    runner = LocalJobRunner(app, use_gpu=use_gpu, split_bytes=4 * 1024)
+    runner = LocalJobRunner(app, use_gpu=use_gpu, split_bytes=4 * 1024,
+                            gpu_engine=gpu_engine)
     with obs.use_recorder(obs.TraceRecorder()) as rec:
         result = runner.run(text)
     return rec, result
@@ -47,6 +51,23 @@ def test_gpu_job_span_invariants(short):
         expected_seconds=[r.seconds for r in result.gpu_task_results],
     )
     assert obs.validate_trace(obs.export_chrome(rec)) == []
+
+
+# BS/KM vectorize, WC takes the whole-kernel fallback — the invariants
+# and the phase parity must hold on both sides of the eligibility fence.
+@pytest.mark.parametrize("short", ["WC", "BS", "KM"])
+def test_vector_engine_span_invariants_and_phase_parity(short):
+    rec_v, result_v = _traced_local_run(short, use_gpu=True,
+                                        gpu_engine="vector")
+    assert_standard_invariants(rec_v)
+    assert_phase_sums(
+        rec_v, "gpu-task",
+        expected_seconds=[r.seconds for r in result_v.gpu_task_results],
+    )
+    assert obs.validate_trace(obs.export_chrome(rec_v)) == []
+    rec_c, _result_c = _traced_local_run(short, use_gpu=True,
+                                         gpu_engine="compiled")
+    assert_phase_spans_identical(rec_c, rec_v)
 
 
 def test_gpu_task_spans_break_down_by_fig6_categories():

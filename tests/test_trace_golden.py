@@ -23,6 +23,7 @@ import pytest
 
 from repro import cli, obs
 from repro.apps import all_apps, get_app
+from repro.gpu import use_gpu_engine
 from repro.hadoop.local import LocalJobRunner
 from repro.scenarios import records_for
 
@@ -60,6 +61,38 @@ def test_golden_trace_replays_identically_twice(tmp_path):
     first = _cli_trace_bytes(tmp_path, "one.json", GOLDEN_ARGS)
     second = _cli_trace_bytes(tmp_path, "two.json", GOLDEN_ARGS)
     assert first == second
+
+
+def test_golden_trace_byte_identical_under_explicit_compiled_engine(tmp_path):
+    """Pinning the default: with ``REPRO_GPU_ENGINE=compiled`` (here via
+    the equivalent context manager) the canonical trace reproduces byte
+    for byte — adding the vector engine must not perturb it."""
+    with use_gpu_engine("compiled"):
+        got = _cli_trace_bytes(tmp_path, "compiled.json", GOLDEN_ARGS)
+    assert got == GOLDEN.read_bytes()
+
+
+def test_local_wc_trace_under_vector_differs_only_in_vector_metrics():
+    """A local GPU job traced under the vector engine emits exactly the
+    compiled engine's trace events; the only deltas live in the
+    ``gpu.vector.*`` metric counters."""
+    app = get_app("WC")
+    text = app.generate(records_for("WC", "small"), seed=7)
+
+    def traced(engine):
+        with use_gpu_engine(engine), \
+                obs.use_recorder(obs.TraceRecorder()) as rec:
+            LocalJobRunner(app, use_gpu=True, split_bytes=4 * 1024).run(text)
+        return obs.export_chrome(rec)
+
+    compiled = traced("compiled")
+    vector = traced("vector")
+    assert vector["traceEvents"] == compiled["traceEvents"]
+    vector_counters = dict(vector["otherData"]["metrics"]["counters"])
+    extras = {k: vector_counters.pop(k)
+              for k in list(vector_counters) if k.startswith("gpu.vector.")}
+    assert extras, "vector run recorded no gpu.vector.* counters"
+    assert vector_counters == compiled["otherData"]["metrics"]["counters"]
 
 
 def test_golden_trace_is_schema_valid():
