@@ -73,11 +73,17 @@ _SCALED_RECORDS = {app: get_workload(app).records("large")
 #: Worker counts the parallel bench compares (serial first).
 _DEFAULT_WORKER_STEPS = (1, 2, 4)
 
+#: Reduce-path default app set: the reduce-heavy Table 2 jobs, where
+#: the shuffle-merge is a real fraction of the pipeline (WC collapses
+#: its pairs in the combiner; GR is map-only-ish with one partition).
+DEFAULT_REDUCE_APPS = ("TS", "II", "PR", "RJ")
+
 #: Where ``--json`` writes each path's report.
 CANONICAL_REPORTS = {
     "cpu": "BENCH_interp.json",
     "gpu": "BENCH_gpu.json",
     "parallel": "BENCH_parallel.json",
+    "reduce": "BENCH_reduce.json",
 }
 
 
@@ -383,6 +389,145 @@ def run_parallel_bench(apps: Iterable[str] = DEFAULT_APPS,
         "repeat": repeat,
         "worker_steps": list(steps),
         "tiers": list(tiers),
+        "host_cpus": os.cpu_count(),
+        "results": results,
+    }
+
+
+def bench_reduce_app(short: str, records: int | None = None,
+                     repeat: int = 3, seed: int = 7,
+                     worker_steps: Iterable[int] = _DEFAULT_WORKER_STEPS,
+                     ) -> dict[str, Any]:
+    """Benchmark one app's reduce-side shuffle: the k-way merge of
+    map-sorted runs against the full re-sort it replaced.
+
+    The map phase runs once to build the real shuffle input — per-task
+    runs, already streaming-sorted and key-decorated by the map tasks.
+    The timed rounds then compare, over every partition:
+
+    * **sort** — ``sort_kv_run`` on the concatenated raw triples, the
+      pre-merge reduce pipeline (sort keys recomputed at reduce time);
+    * **merge** — ``merge_sorted_runs`` on the decorated runs, the
+      current pipeline (map-side keys reused, runs pre-sorted).
+
+    Both must produce identical pair sequences for every partition, so
+    the bench doubles as a differential test of the merge shuffle.
+    A full-job worker sweep then pins the parallel reduce contract:
+    byte-identical output and task timings at every worker count, with
+    the reduce critical path shrinking as workers grow.
+    """
+    from .hadoop.local import LocalJobResult, LocalJobRunner
+    from .hadoop.shuffle import merge_sorted_runs, sort_kv_run
+
+    app = get_app(short)
+    n = records if records is not None else _DEFAULT_RECORDS.get(short, 1000)
+    text = app.generate(n, seed=seed)
+    data = text.encode("utf-8")
+    # Same ~16-way split sizing as the parallel bench: enough map runs
+    # per partition that the merge has real fan-in.
+    split_bytes = max(1024, -(-len(data) // 16))
+    runner = LocalJobRunner(app, use_gpu=False, split_bytes=split_bytes,
+                            workers=1)
+
+    # Map phase once, off the clock — every timed round re-consumes the
+    # same shuffle input the real reduce phase would see.
+    shuffle: dict[int, list[list]] = {}
+    scratch = LocalJobResult()
+    for a, b in runner.split_ranges(data):
+        parts = runner._run_cpu_map_task(data[a:b], scratch)
+        for part, run in parts.items():
+            shuffle.setdefault(part, []).append(run)
+    runs_per_part = [shuffle[part] for part in sorted(shuffle)]
+    concat_per_part = [
+        [entry for run in runs for _key, entry in run]
+        for runs in runs_per_part
+    ]
+    input_pairs = sum(len(c) for c in concat_per_part)
+
+    merged = [merge_sorted_runs(runs) for runs in runs_per_part]
+    sorted_ = [sort_kv_run(c) for c in concat_per_part]
+    if merged != sorted_:
+        raise ReproError(f"{short}: merge shuffle diverges from re-sort")
+
+    merge_s = sort_s = float("inf")
+    for _ in range(max(repeat, 1)):
+        start = time.process_time()
+        for concat in concat_per_part:
+            sort_kv_run(concat)
+        sort_s = min(sort_s, time.process_time() - start)
+        start = time.process_time()
+        for runs in runs_per_part:
+            merge_sorted_runs(runs)
+        merge_s = min(merge_s, time.process_time() - start)
+
+    # Full-job worker sweep: identical results, shrinking critical path.
+    configs: list[dict[str, Any]] = []
+    serial = None
+    for nworkers in worker_steps:
+        result = LocalJobRunner(app, use_gpu=False, split_bytes=split_bytes,
+                                workers=nworkers).run(text)
+        if serial is None:
+            serial = result
+        else:
+            if list(result.output.items()) != list(serial.output.items()):
+                raise ReproError(
+                    f"{short}: workers={nworkers} reduce output diverges "
+                    "from serial"
+                )
+            if result.reduce_task_timings != serial.reduce_task_timings:
+                raise ReproError(
+                    f"{short}: workers={nworkers} reduce task timings "
+                    "diverge from serial"
+                )
+        cp = result.reduce_critical_path_seconds
+        total = result.total_reduce_seconds
+        configs.append({
+            "workers": nworkers,
+            "reduce_workers": result.reduce_workers,
+            "reduce_critical_path_seconds": round(cp, 6),
+            "reduce_sim_speedup": round(total / cp, 2) if cp else None,
+        })
+        if configs[-1]["reduce_workers"] > 1 and cp > total:
+            raise ReproError(
+                f"{short}: pooled reduce critical path exceeds total work"
+            )
+    assert serial is not None
+    return {
+        "app": short,
+        "records": n,
+        "partitions": len(runs_per_part),
+        "merge_runs": sum(len(runs) for runs in runs_per_part),
+        "input_pairs": input_pairs,
+        "sort_seconds": round(sort_s, 4),
+        "merge_seconds": round(merge_s, 4),
+        # Canonical figure: re-sort time over merge time (what
+        # check_min_speedup / --baseline read).
+        "speedup": round(sort_s / merge_s, 2) if merge_s else None,
+        "configs": configs,
+    }
+
+
+def run_reduce_bench(apps: Iterable[str] = DEFAULT_REDUCE_APPS,
+                     records: int | None = None, repeat: int = 3,
+                     seed: int = 7,
+                     worker_steps: Iterable[int] = _DEFAULT_WORKER_STEPS,
+                     ) -> dict[str, Any]:
+    """Benchmark the merge shuffle across the reduce-heavy apps."""
+    steps = tuple(worker_steps)
+    results = [bench_reduce_app(a, records=records, repeat=repeat,
+                                seed=seed, worker_steps=steps)
+               for a in apps]
+    return {
+        "benchmark": "sorted-run merge shuffle vs full re-sort, reduce phase",
+        "method": (
+            "map phase run once to build real per-task sorted runs; "
+            "best-of-N process_time over all partitions, interleaved "
+            "sort/merge rounds, identical pair sequences enforced; "
+            "speedup = sort_seconds / merge_seconds; full-job worker "
+            "sweep enforces byte-identical output and reduce timings"
+        ),
+        "repeat": repeat,
+        "worker_steps": list(steps),
         "host_cpus": os.cpu_count(),
         "results": results,
     }

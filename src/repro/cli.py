@@ -187,7 +187,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _traced_run(args: argparse.Namespace):
-    """Run one job with tracing on; returns the filled TraceRecorder.
+    """Run one job with tracing on; returns the filled TraceRecorder
+    plus the :class:`LocalJobResult` (``None`` in simulate mode).
 
     Everything nondeterministic-or-cached (input generation, kernel
     translation, calibration) happens before the recorder is installed,
@@ -198,6 +199,7 @@ def _traced_run(args: argparse.Namespace):
     app = get_app(args.app)
     cluster = CLUSTER1 if args.cluster == 1 else CLUSTER2
     recorder = obs.TraceRecorder()
+    result = None
     if args.mode == "simulate":
         from .hadoop import ClusterSimulator
 
@@ -215,14 +217,14 @@ def _traced_run(args: argparse.Namespace):
             split_bytes=args.split_kb * 1024, workers=args.workers,
         )
         with obs.use_recorder(recorder):
-            runner.run(text)
-    return recorder
+            result = runner.run(text)
+    return recorder, result
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     from . import obs
 
-    recorder = _traced_run(args)
+    recorder, _result = _traced_run(args)
     trace = obs.export_chrome(recorder)
     obs.check_trace(trace)
     payload = obs.dumps(trace)
@@ -239,7 +241,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    recorder = _traced_run(args)
+    recorder, result = _traced_run(args)
     snapshot = recorder.metrics.snapshot()
     by_cat: dict[str, tuple[int, float]] = {}
     for span in recorder.spans():
@@ -250,6 +252,19 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     for cat in sorted(by_cat):
         count, seconds = by_cat[cat]
         print(f"  {cat:14s} {count:6d} spans  {seconds:12.6f} simulated s")
+    if result is not None and result.reduce_task_timings:
+        timings = result.reduce_task_timings
+        print("reduce phase:")
+        print(f"  tasks        {len(timings):6d}  "
+              f"merge runs {sum(t.merge_runs for t in timings):6d}  "
+              f"input pairs {sum(t.input_pairs for t in timings):8d}")
+        for phase in ("merge", "reduce", "output_write"):
+            seconds = sum(getattr(t, phase) for t in timings)
+            print(f"  {phase:12s} {seconds:22.6f} simulated s")
+        print(f"  total        {result.total_reduce_seconds:22.6f} "
+              f"simulated s")
+        print(f"  critical path {result.reduce_critical_path_seconds:21.6f} "
+              f"simulated s (reduce workers {result.reduce_workers})")
     print("counters:")
     for name, value in snapshot["counters"].items():
         print(f"  {name:28s} {value:14.1f}")
@@ -265,7 +280,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     from . import bench
 
-    paths = ("cpu", "gpu", "parallel") if args.path == "all" \
+    paths = ("cpu", "gpu", "parallel", "reduce") if args.path == "all" \
         else (args.path,)
     if args.out and len(paths) > 1:
         raise ReproError("--out needs a single --path; "
@@ -282,19 +297,44 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     rc = 0
     reports: dict[str, dict] = {}
     for path in paths:
-        apps = args.apps or list(
-            bench.DEFAULT_GPU_APPS if path == "gpu" else bench.DEFAULT_APPS)
+        if path == "gpu":
+            default_apps = bench.DEFAULT_GPU_APPS
+        elif path == "reduce":
+            default_apps = bench.DEFAULT_REDUCE_APPS
+        else:
+            default_apps = bench.DEFAULT_APPS
+        apps = args.apps or list(default_apps)
         if path == "parallel":
             report = bench.run_parallel_bench(
                 apps, records=args.records, repeat=args.repeat,
                 seed=args.seed, worker_steps=worker_steps,
                 tier=args.tier)
+        elif path == "reduce":
+            report = bench.run_reduce_bench(
+                apps, records=args.records, repeat=args.repeat,
+                seed=args.seed, worker_steps=worker_steps)
         else:
             run = bench.run_bench if path == "cpu" else bench.run_gpu_bench
             report = run(apps, records=args.records, repeat=args.repeat,
                          seed=args.seed)
         reports[path] = report
-        if not args.json and path == "parallel":
+        if not args.json and path == "reduce":
+            print(f"[{path} path, host_cpus={report['host_cpus']}]")
+            for r in report["results"]:
+                steps = "  ".join(
+                    f"rw={c['reduce_workers']} cp "
+                    f"{c['reduce_critical_path_seconds']:.6f}s"
+                    + (f" ({c['reduce_sim_speedup']:.2f}x sim)"
+                       if c["reduce_workers"] > 1 else "")
+                    for c in r["configs"]
+                )
+                print(f"{r['app']:4s} {r['records']:7d} records  "
+                      f"{r['partitions']:3d} parts  "
+                      f"{r['merge_runs']:4d} runs  "
+                      f"sort {r['sort_seconds']:.4f}s  "
+                      f"merge {r['merge_seconds']:.4f}s  "
+                      f"merge speedup {r['speedup']:.2f}x  {steps}")
+        elif not args.json and path == "parallel":
             print(f"[{path} path, host_cpus={report['host_cpus']}]")
             for r in report["results"]:
                 steps = "  ".join(
@@ -345,6 +385,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             if slow:
                 print(f"error: {path} path below --min-wall-speedup: "
                       f"{', '.join(slow)}", file=sys.stderr)
+                rc = 1
+        if args.min_merge_speedup is not None and path == "reduce":
+            # the reduce path's canonical speedup IS the merge speedup
+            slow = bench.check_min_speedup(report, args.min_merge_speedup)
+            if slow:
+                print(f"error: {path} path below --min-merge-speedup "
+                      f"{args.min_merge_speedup}: {', '.join(slow)}",
+                      file=sys.stderr)
                 rc = 1
         if args.baseline is not None:
             drifted = bench.check_against_baseline(report, args.baseline,
@@ -592,11 +640,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--apps", nargs="*", metavar="TAG",
                    help="benchmark tags (default: WC KM; "
                         "gpu path: WC KM BS CL)")
-    p.add_argument("--path", choices=("cpu", "gpu", "parallel", "all"),
+    p.add_argument("--path", choices=("cpu", "gpu", "parallel", "reduce",
+                                      "all"),
                    default="cpu",
                    help="cpu: interpreter backends on streaming jobs; "
                         "gpu: lane engines on GPU-path jobs; parallel: "
-                        "worker-pool map phase vs serial; all: every path")
+                        "worker-pool map phase vs serial; reduce: "
+                        "sorted-run merge shuffle vs full re-sort; "
+                        "all: every path")
     p.add_argument("--records", type=int, default=None,
                    help="records per app (default: per-app sizes)")
     p.add_argument("--repeat", type=int, default=3)
@@ -628,6 +679,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="--path parallel: exit nonzero if the measured "
                         "wall-clock speedup at the highest worker count "
                         "is below this (run on a multi-core host)")
+    p.add_argument("--min-merge-speedup", type=float, default=None,
+                   help="--path reduce: exit nonzero if any app's "
+                        "merge-over-re-sort speedup is below this")
     _add_workers_option(p, "--path parallel: worker steps become 1,2,N "
                            "(default steps 1,2,4)")
     p.set_defaults(func=_cmd_bench)

@@ -19,14 +19,25 @@ from ..apps.base import Application
 from ..config import CLUSTER1, ClusterConfig, OptimizationFlags
 from ..costmodel.cpu import CpuTaskModel, CpuTaskTiming
 from ..costmodel.io import IoModel
-from ..errors import HadoopError
+from ..errors import ConfigError, HadoopError
 from ..gpu.device import GpuDevice
 from ..kvstore import Partitioner
 from ..kvstore.coerce import kv_line, parse_kv_line, utf8_len
 from ..obs import trace as obs
-from ..parallel.pool import list_schedule_makespan, resolve_workers
+from ..parallel.pool import (
+    list_schedule_makespan,
+    resolve_reduce_workers,
+    resolve_workers,
+)
 from ..runtime.gpu_task import GpuTaskResult, GpuTaskRunner
-from .shuffle import sort_kv_run, streaming_sort_key
+from .shuffle import (
+    ReduceTaskTiming,
+    decorate_kv_run,
+    merge_sorted_runs,
+    reduce_task_timing,
+    sort_kv_run,
+    streaming_sort_key,
+)
 
 __all__ = ["LocalJobResult", "LocalJobRunner", "parse_kv_line"]
 
@@ -48,6 +59,11 @@ class LocalJobResult:
     shuffle_bytes: int = 0
     #: Worker processes the map phase ran on (1 = serial).
     workers: int = 1
+    #: Worker processes the reduce phase ran on (1 = serial).
+    reduce_workers: int = 1
+    #: Per-reduce-task timings in partition order (empty for map-only
+    #: jobs, whose output is written by the map tasks themselves).
+    reduce_task_timings: list[ReduceTaskTiming] = field(default_factory=list)
 
     def task_seconds(self) -> list[float]:
         """Per-map-task simulated seconds, in task-index order."""
@@ -78,6 +94,27 @@ class LocalJobResult:
         """Wall-clock-equivalent map-phase seconds at this run's
         ``workers`` (equals :attr:`total_map_seconds` when serial)."""
         return self.critical_path_seconds(self.workers)
+
+    def reduce_seconds(self) -> list[float]:
+        """Per-reduce-task simulated seconds, in partition order."""
+        return [t.total for t in self.reduce_task_timings]
+
+    @property
+    def total_reduce_seconds(self) -> float:
+        """Summed per-reduce-task seconds (total core *work*), the
+        reduce-phase analogue of :attr:`total_map_seconds`."""
+        return sum(t.total for t in self.reduce_task_timings)
+
+    def reduce_critical_path(self, workers: int) -> float:
+        """Reduce-phase makespan if its tasks ran on ``workers`` slots
+        (same greedy in-order list schedule as the map phase)."""
+        return list_schedule_makespan(self.reduce_seconds(), workers)
+
+    @property
+    def reduce_critical_path_seconds(self) -> float:
+        """Wall-clock-equivalent reduce-phase seconds at this run's
+        ``reduce_workers``."""
+        return self.reduce_critical_path(self.reduce_workers)
 
 
 class LocalJobRunner:
@@ -117,6 +154,14 @@ class LocalJobRunner:
         gpu_engine: str | None = None,
         workers: int | None = None,
     ):
+        if split_bytes <= 0:
+            raise ConfigError(
+                f"split_bytes must be positive, got {split_bytes}"
+            )
+        if num_reducers is not None and num_reducers < 0:
+            raise ConfigError(
+                f"num_reducers must be >= 0, got {num_reducers}"
+            )
         self.app = app
         self.cluster = cluster
         self.use_gpu = use_gpu
@@ -180,26 +225,25 @@ class LocalJobRunner:
             engine=self.gpu_engine,
         )
 
-    # Map tasks return partition → [(key, value, line)] triples: ``line``
-    # is the pair's streaming rendering (kv_line), encoded exactly once
-    # per pair and reused for shuffle/output byte accounting and as
-    # reducer stdin.
+    # Map tasks return partition → decorated runs: streaming-sorted
+    # ``(sort_key, (key, value, line))`` entries where ``line`` is the
+    # pair's streaming rendering (kv_line). Both the rendering and the
+    # sort key are computed exactly once per pair, map-side, and reused
+    # for shuffle/output byte accounting, as reducer stdin, and by the
+    # reduce merge (which never recomputes keys or re-encodes).
 
     def _run_gpu_map_task(
         self, split: bytes, runner: GpuTaskRunner, result: LocalJobResult
-    ) -> dict[int, list[tuple[Any, Any, str]]]:
+    ) -> dict[int, list]:
         task = runner.run(split)
         result.gpu_task_results.append(task)
         result.map_output_pairs += task.emitted_pairs
-        return {
-            part: [(k, v, kv_line(k, v)) for k, v in kvs]
-            for part, kvs in task.partition_output.items()
-        }
+        return task.rendered_runs()
 
     def _run_cpu_map_task(
         self, split: bytes, result: LocalJobResult,
         task_index: int | None = None,
-    ) -> dict[int, list[tuple[Any, Any, str]]]:
+    ) -> dict[int, list]:
         text = split.decode("utf-8", errors="replace")
         map_out, map_counters = self.app.cpu_map(text)
         pairs = [parse_kv_line(ln) for ln in map_out.splitlines() if ln]
@@ -209,12 +253,12 @@ class LocalJobRunner:
         parts: dict[int, list[tuple[Any, Any]]] = defaultdict(list)
         for k, v in pairs:
             parts[self.partitioner.partition(k)].append((k, v))
-        combined: dict[int, list[tuple[Any, Any, str]]] = {}
+        combined: dict[int, list] = {}
         combine_counters = None
         output_bytes = 0
         for part, kvs in parts.items():
-            kvs = sort_kv_run(kvs)
             if self.app.has_combiner:
+                kvs = sort_kv_run(kvs)
                 text_in = "".join(kv_line(k, v) for k, v in kvs)
                 out, counters = self.app.cpu_combine(text_in)
                 combine_counters = counters if combine_counters is None \
@@ -225,10 +269,15 @@ class LocalJobRunner:
                         continue
                     k, v = parse_kv_line(ln)
                     triples.append((k, v, kv_line(k, v)))
-                combined[part] = triples
+                combined[part] = decorate_kv_run(triples)
             else:
-                combined[part] = [(k, v, kv_line(k, v)) for k, v in kvs]
-            output_bytes += sum(utf8_len(t[2]) for t in combined[part])
+                # The decorate-sort below orders the run, so the
+                # separate pre-sort pass is only needed to feed the
+                # combiner sorted text.
+                combined[part] = decorate_kv_run(
+                    [(k, v, kv_line(k, v)) for k, v in kvs]
+                )
+            output_bytes += sum(utf8_len(e[1][2]) for e in combined[part])
 
         model = CpuTaskModel(self.cluster.cpu, self.io)
         timing = model.task_timing(
@@ -279,6 +328,66 @@ class LocalJobRunner:
         rec.inc("cpu.tasks")
         rec.inc("cpu.map_pairs", map_pairs)
 
+    # -- reduce side ---------------------------------------------------------------
+
+    def reduce_partition(self, partition: int,
+                         runs: list[list]) -> tuple[list, ReduceTaskTiming]:
+        """Run one reduce task: k-way merge of the partition's sorted
+        runs, then the reduce function — preferably the app's mini-C
+        Streaming reducer (reducers always run on CPUs, paper §3.1),
+        else the Python one. Returns the reduced pairs plus the task's
+        deterministic simulated timing.
+
+        Pure with respect to the job: pool workers call this through
+        :mod:`repro.parallel.reducetask` and the driver folds the
+        returned pairs in partition order, so serial and pooled reduce
+        phases are byte-identical.
+        """
+        merged = merge_sorted_runs(runs)
+        input_pairs = len(merged)
+        input_bytes = sum(utf8_len(t[2]) for t in merged)
+        if self.app.reduce_source is not None:
+            text_in = "".join(t[2] for t in merged)
+            out_text, _counters = self.app.cpu_reduce(text_in)
+            reduced = [parse_kv_line(ln)
+                       for ln in out_text.splitlines() if ln]
+            output_bytes = utf8_len(out_text)
+        else:
+            grouped: dict[Any, list[Any]] = defaultdict(list)
+            for k, v, _ln in merged:
+                grouped[k].append(v)
+            reduced = [
+                pair
+                for key, values in grouped.items()
+                for pair in self.app.reduce(key, values)
+            ]
+            output_bytes = sum(utf8_len(kv_line(k, v)) for k, v in reduced)
+        timing = reduce_task_timing(
+            partition=partition,
+            merge_runs=len(runs),
+            input_pairs=input_pairs,
+            input_bytes=input_bytes,
+            output_pairs=len(reduced),
+            output_bytes=output_bytes,
+            io=self.io,
+            replication=self.cluster.hdfs_replication,
+        )
+        return reduced, timing
+
+    def _fold_reduced(self, output: dict[Any, Any], partition: int,
+                      reduced: list) -> None:
+        """Fold one partition's reduce output into the job output dict
+        — always in the driver, always in partition order, so the
+        insertion order and the duplicate-key check are identical under
+        serial and pooled reduce phases."""
+        for out_k, out_v in reduced:
+            if out_k in output:
+                raise HadoopError(
+                    f"{self.app.name} reducer emitted duplicate key "
+                    f"{out_k!r} in partition {partition}"
+                )
+            output[out_k] = out_v
+
     # -- full job --------------------------------------------------------------------
 
     def run(self, input_text: str) -> LocalJobResult:
@@ -305,10 +414,11 @@ class LocalJobRunner:
                 args=span_args,
             )
 
-        # Map phase → shuffle inputs grouped by reduce partition. Each
-        # entry carries its one-time streaming rendering (see the map
-        # task helpers), reused below instead of re-encoding.
-        shuffle: dict[int, list[tuple[Any, Any, str]]] = defaultdict(list)
+        # Map phase → shuffle inputs grouped by reduce partition, kept
+        # as per-task *runs* (streaming-sorted by the map task, with
+        # one-time renderings and sort keys — see the map task helpers)
+        # so the reduce side can k-way merge instead of re-sorting.
+        shuffle: dict[int, list[list]] = defaultdict(list)
         if nworkers > 1:
             parts_per_task = self._run_map_phase_parallel(
                 data, ranges, nworkers, result, rec
@@ -324,41 +434,45 @@ class LocalJobRunner:
                 for a, b in ranges
             )
         for parts in parts_per_task:
-            for part, kvs in parts.items():
-                shuffle[part].extend(kvs)
-                result.shuffle_bytes += sum(utf8_len(t[2]) for t in kvs)
+            for part, run in parts.items():
+                shuffle[part].append(run)
+                result.shuffle_bytes += sum(utf8_len(e[1][2]) for e in run)
 
-        # Reduce phase: merge-sort each partition, then apply the reduce
-        # function — preferably the app's mini-C Streaming reducer
-        # (reducers always run on CPUs, paper §3.1), else the Python one.
+        # Reduce phase: one reduce task per partition, serial in the
+        # driver or fanned across the daemon pool; either way the
+        # reduced pairs fold into the output dict in partition order.
+        reduce_parts = sorted(shuffle)
+        reduce_workers = resolve_reduce_workers(
+            self.workers, tasks=len(reduce_parts)
+        )
+        result.reduce_workers = reduce_workers
+        # Map-only jobs (num_reducers == 0) write output at the map
+        # tasks; their identity fold through this phase is free, like
+        # estimate_reduce_phase's zero-cost map-only answer.
+        charge_reduce = self.num_reducers > 0
         output: dict[Any, Any] = {}
-        use_minic = self.app.reduce_source is not None
-        for part in sorted(shuffle):
-            kvs = sort_kv_run(shuffle[part])
-            if use_minic:
-                text_in = "".join(t[2] for t in kvs)
-                out_text, _counters = self.app.cpu_reduce(text_in)
-                reduced = [parse_kv_line(ln) for ln in out_text.splitlines() if ln]
-            else:
-                grouped: dict[Any, list[Any]] = defaultdict(list)
-                for k, v, _ln in kvs:
-                    grouped[k].append(v)
-                reduced = [
-                    pair
-                    for key, values in grouped.items()
-                    for pair in self.app.reduce(key, values)
-                ]
-            for out_k, out_v in reduced:
-                if out_k in output:
-                    raise HadoopError(f"reducer emitted duplicate key {out_k!r}")
-                output[out_k] = out_v
+        if reduce_workers > 1:
+            reduced_per_part = self._run_reduce_phase_parallel(
+                reduce_parts, shuffle, reduce_workers, result, rec,
+                charge_reduce,
+            )
+            for part, reduced in zip(reduce_parts, reduced_per_part):
+                self._fold_reduced(output, part, reduced)
+        else:
+            for part in reduce_parts:
+                reduced, timing = self.reduce_partition(part, shuffle[part])
+                if charge_reduce:
+                    result.reduce_task_timings.append(timing)
+                self._fold_reduced(output, part, reduced)
         result.output = output
 
         if rec.enabled and job_span is not None:
             # The job span covers the map phase's wall-clock-equivalent
             # duration: with one worker that is the task-seconds sum
             # (bit-identical to the pre-parallel behaviour); with N it
-            # is the overlapped critical path.
+            # is the overlapped critical path. A pooled reduce phase
+            # extends the span by its own critical path (serial reduce
+            # keeps the historical span end, byte for byte).
             map_end = job_span.ts + result.map_critical_path_seconds
             rec.counter(
                 "shuffle", "local-job",
@@ -369,12 +483,14 @@ class LocalJobRunner:
             rec.inc("shuffle.bytes", result.shuffle_bytes)
             rec.inc("job.map_output_pairs", result.map_output_pairs)
             rec.inc("jobs")
-            rec.end(
-                job_span,
-                ts=map_end,
-                args={"output_keys": len(output),
-                      "shuffle_bytes": result.shuffle_bytes},
-            )
+            end_ts = map_end
+            end_args = {"output_keys": len(output),
+                        "shuffle_bytes": result.shuffle_bytes}
+            if reduce_workers > 1:  # serial spans stay byte-identical
+                end_ts = map_end + result.reduce_critical_path_seconds
+                end_args["reduce_workers"] = reduce_workers
+                end_args["reduce_tasks"] = len(reduce_parts)
+            rec.end(job_span, ts=end_ts, args=end_args)
         return result
 
     def _run_map_phase_parallel(self, data: bytes,
@@ -399,19 +515,44 @@ class LocalJobRunner:
                 task = envelope.gpu_result
                 result.gpu_task_results.append(task)
                 result.map_output_pairs += task.emitted_pairs
-                parts = {
-                    part: [(k, v, kv_line(k, v)) for k, v in kvs]
-                    for part, kvs in task.partition_output.items()
-                }
             else:
                 assert envelope.cpu_timing is not None
                 result.cpu_task_timings.append(envelope.cpu_timing)
                 result.map_output_pairs += envelope.map_pairs
-                parts = envelope.parts or {}
-            parts_per_task.append(parts)
+            # Both paths ship ready-to-merge rendered runs: the worker
+            # already sorted, decorated, and encoded every pair (the
+            # driver used to re-encode the GPU path's pairs here).
+            parts_per_task.append(envelope.parts or {})
             if rec.enabled and envelope.events is not None:
                 rec.splice(envelope.events,
                            pid_suffix=f"@w{envelope.worker_pid}")
                 if envelope.metrics is not None:
                     rec.metrics.merge(envelope.metrics)
         return parts_per_task
+
+    def _run_reduce_phase_parallel(self, parts: list[int],
+                                   shuffle: dict[int, list[list]],
+                                   nworkers: int, result: LocalJobResult,
+                                   rec: Any, charge_reduce: bool) -> list[list]:
+        """Fan the reduce phase across the daemon pool.
+
+        Envelopes arrive in partition order (the pool reassembles by
+        submission index), so timing accumulation and the driver-side
+        output fold replay the serial loop exactly — reduce tasks are
+        pure, and the duplicate-key check still fires in the driver at
+        the same fold step it would serially.
+        """
+        from ..parallel.reducetask import run_reduce_tasks
+
+        envelopes = run_reduce_tasks(self, parts, shuffle, nworkers)
+        reduced_per_part: list[list] = []
+        for envelope in envelopes:
+            if charge_reduce:
+                result.reduce_task_timings.append(envelope.timing)
+            reduced_per_part.append(envelope.reduced)
+            if rec.enabled and envelope.events is not None:
+                rec.splice(envelope.events,
+                           pid_suffix=f"@w{envelope.worker_pid}")
+                if envelope.metrics is not None:
+                    rec.metrics.merge(envelope.metrics)
+        return reduced_per_part

@@ -4,13 +4,15 @@ HeteroDoop's TaskTrackers run one map task per CPU core concurrently
 (plus the reserved GPU slot); this package gives the functional runner
 the same property. The persistent daemon pool
 (:mod:`repro.parallel.daemon`) forks workers once per process lifetime
-and fans map tasks, GPU splits, and fuzz cases across them in batched
-envelopes, with input bytes published through a write-once arena
-(:mod:`repro.parallel.arena`) instead of per-task pickles. The
-job-level plumbing (:mod:`repro.parallel.maptask`) keeps the parallel
-run **byte-identical** to the serial one — same output, same counters,
-same simulated seconds — by rebuilding caches per worker and merging
-results in task-index order. :mod:`repro.parallel.pool` retains the
+and fans map tasks, reduce tasks, GPU splits, and fuzz cases across
+them in batched envelopes, with input bytes published through a
+write-once arena (:mod:`repro.parallel.arena`) instead of per-task
+pickles. The job-level plumbing (:mod:`repro.parallel.maptask` for the
+map phase, :mod:`repro.parallel.reducetask` for the shuffle-merge/
+reduce tail) keeps the parallel run **byte-identical** to the serial
+one — same output, same counters, same simulated seconds — by
+rebuilding caches per worker and merging results in task/partition
+order. :mod:`repro.parallel.pool` retains the
 one-shot SerialPool/ProcessPool primitives and the shared worker-count
 resolution.
 """
@@ -29,6 +31,7 @@ from .pool import (
     SerialPool,
     in_worker,
     list_schedule_makespan,
+    resolve_reduce_workers,
     resolve_workers,
     task_pool,
 )
@@ -44,6 +47,7 @@ __all__ = [
     "list_schedule_makespan",
     "pool_metrics",
     "resolve_batch_size",
+    "resolve_reduce_workers",
     "resolve_workers",
     "shutdown_pool",
     "task_pool",

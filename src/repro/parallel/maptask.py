@@ -74,16 +74,17 @@ class MapJobSpec:
 class MapTaskEnvelope:
     """One map task's result, shipped worker → parent.
 
-    ``parts`` carries the CPU path's partition → ``(key, value, line)``
-    triples; the GPU path ships the full :class:`GpuTaskResult` instead
-    (the parent derives triples from its partition output, exactly as
-    the serial GPU task helper does).
+    ``parts`` carries the partition → decorated-run mapping on *both*
+    paths: streaming-sorted ``(sort_key, (key, value, line))`` entries,
+    rendered and decorated in the worker so the driver's fold never
+    re-encodes a pair. The GPU path additionally ships its
+    :class:`GpuTaskResult` for the timing/Fig. 6 bookkeeping.
     """
 
     index: int
     worker_pid: int
     map_pairs: int
-    parts: dict[int, list[tuple[Any, Any, str]]] | None = None
+    parts: dict[int, list] | None = None
     cpu_timing: CpuTaskTiming | None = None
     gpu_result: "GpuTaskResult | None" = None
     events: list | None = None
@@ -196,6 +197,7 @@ def _run_map_task(payload: tuple[int, int, int]) -> MapTaskEnvelope:
             envelope = MapTaskEnvelope(
                 index=index, worker_pid=os.getpid(),
                 map_pairs=task.emitted_pairs, gpu_result=task,
+                parts=task.rendered_runs(),
             )
         else:
             parts = runner._run_cpu_map_task(split, scratch,

@@ -44,6 +44,7 @@ __all__ = [
     "SerialPool",
     "in_worker",
     "list_schedule_makespan",
+    "resolve_reduce_workers",
     "resolve_workers",
     "task_pool",
 ]
@@ -51,6 +52,12 @@ __all__ = [
 #: Environment knob: default worker count for every parallel-capable
 #: entry point (``0`` means one worker per CPU core).
 WORKERS_ENV = "REPRO_WORKERS"
+
+#: Environment knob: worker count for the reduce phase specifically.
+#: Unset, the reduce phase reuses the job's map-phase worker setting
+#: (explicit ``workers=`` or ``REPRO_WORKERS``); set, it overrides both
+#: for reduce tasks only (``0`` = one worker per CPU core).
+REDUCE_WORKERS_ENV = "REPRO_REDUCE_WORKERS"
 
 #: True in pool worker processes (set by the bootstrap); guards against
 #: nested pools.
@@ -93,6 +100,31 @@ def resolve_workers(workers: int | None = None,
     if tasks is not None:
         workers = min(workers, max(tasks, 1))
     return max(workers, 1)
+
+
+def resolve_reduce_workers(job_workers: int | None = None,
+                           tasks: int | None = None) -> int:
+    """The effective worker count for a job's reduce phase.
+
+    ``REPRO_REDUCE_WORKERS`` wins when set (same 0-means-cpu-count
+    convention as :func:`resolve_workers`); otherwise the reduce phase
+    follows the job's map-phase setting — explicit ``workers=`` or
+    ``REPRO_WORKERS`` — so ``workers=4`` parallelizes the whole job,
+    not just its maps. ``tasks`` (the partition count) caps the answer,
+    and pool workers stay leaves.
+    """
+    if _in_worker:
+        return 1
+    raw = os.environ.get(REDUCE_WORKERS_ENV, "").strip()
+    if raw:
+        try:
+            explicit = int(raw)
+        except ValueError:
+            raise ConfigError(
+                f"{REDUCE_WORKERS_ENV}={raw!r} is not an integer"
+            ) from None
+        return resolve_workers(explicit, tasks=tasks)
+    return resolve_workers(job_workers, tasks=tasks)
 
 
 def list_schedule_makespan(durations: Iterable[float], workers: int) -> float:

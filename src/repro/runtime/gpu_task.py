@@ -105,6 +105,27 @@ class GpuTaskResult:
             out.extend(self.partition_output[part])
         return out
 
+    def rendered_runs(self) -> dict[int, list]:
+        """Per-partition shuffle runs: streaming-sorted, decorated, and
+        rendered ``(key, value, line)`` triples.
+
+        This is the form the reduce-side merge consumes. Encoding and
+        sort-key computation happen here — once per pair, in whatever
+        process ran the task — instead of in the driver's fold (pool
+        workers ship these runs in their envelopes; the driver used to
+        re-encode every pair). The GPU sort ordered pairs byte-wise
+        before type coercion, so the decorate-sort also restores
+        streaming key order for coerced numerics.
+        """
+        # Local import: hadoop.local imports this module at top level.
+        from ..hadoop.shuffle import decorate_kv_run
+        from ..kvstore.coerce import kv_line
+
+        return {
+            part: decorate_kv_run([(k, v, kv_line(k, v)) for k, v in kvs])
+            for part, kvs in self.partition_output.items()
+        }
+
 
 class GpuTaskRunner:
     """Executes GPU map(+combine) tasks for one translated application.

@@ -98,6 +98,28 @@ int main() {
         assert "attempt" in out
         assert "sim.heartbeats" in out
 
+    def test_stats_reports_reduce_breakdown(self, capsys):
+        assert main(["stats", "WC", "--records", "120",
+                     "--split-kb", "2", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "reduce phase:" in out
+        assert "critical path" in out
+        assert "reduce.tasks" in out
+
+    def test_bench_reduce_path(self, capsys):
+        assert main(["bench", "--path", "reduce", "--apps", "TS",
+                     "--records", "400", "--repeat", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "merge speedup" in out
+        assert "rw=4" in out
+
+    def test_bench_reduce_gate_fails_when_unmet(self, capsys):
+        rc = main(["bench", "--path", "reduce", "--apps", "TS",
+                   "--records", "400", "--repeat", "1",
+                   "--min-merge-speedup", "1000"])
+        assert rc == 1
+        assert "--min-merge-speedup" in capsys.readouterr().err
+
     def test_bench_baseline_guard(self, tmp_path, capsys):
         import json
 

@@ -17,7 +17,7 @@ import pytest
 from repro import obs
 from repro.apps import all_apps, get_app
 from repro.config import CLUSTER1
-from repro.errors import ConfigError
+from repro.errors import ConfigError, HadoopError
 from repro.fuzz.runner import run_campaign
 from repro.gpu.device import GpuDevice
 from repro.hadoop.local import LocalJobRunner
@@ -27,10 +27,11 @@ from repro.parallel import (
     SerialPool,
     in_worker,
     list_schedule_makespan,
+    resolve_reduce_workers,
     resolve_workers,
     task_pool,
 )
-from repro.parallel.pool import WORKERS_ENV
+from repro.parallel.pool import REDUCE_WORKERS_ENV, WORKERS_ENV
 from repro.runtime.gpu_task import GpuTaskRunner
 from repro.scenarios import records_for
 
@@ -77,6 +78,35 @@ class TestResolveWorkers:
         monkeypatch.setenv(WORKERS_ENV, "-2")
         with pytest.raises(ConfigError):
             resolve_workers()
+
+
+class TestResolveReduceWorkers:
+    def test_follows_the_job_setting_by_default(self, monkeypatch):
+        monkeypatch.delenv(REDUCE_WORKERS_ENV, raising=False)
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_reduce_workers() == 1
+        assert resolve_reduce_workers(3) == 3
+
+    def test_env_overrides_the_job_setting(self, monkeypatch):
+        monkeypatch.setenv(REDUCE_WORKERS_ENV, "2")
+        assert resolve_reduce_workers(8) == 2
+        monkeypatch.setenv(REDUCE_WORKERS_ENV, "0")
+        assert resolve_reduce_workers(8) == (os.cpu_count() or 1)
+
+    def test_task_count_caps_fanout(self, monkeypatch):
+        monkeypatch.delenv(REDUCE_WORKERS_ENV, raising=False)
+        assert resolve_reduce_workers(8, tasks=3) == 3
+        monkeypatch.setenv(REDUCE_WORKERS_ENV, "8")
+        assert resolve_reduce_workers(1, tasks=3) == 3
+        assert resolve_reduce_workers(1, tasks=1) == 1
+
+    def test_garbage_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(REDUCE_WORKERS_ENV, "many")
+        with pytest.raises(ConfigError):
+            resolve_reduce_workers(2)
+        monkeypatch.setenv(REDUCE_WORKERS_ENV, "-1")
+        with pytest.raises(ConfigError):
+            resolve_reduce_workers(2)
 
 
 class TestListScheduleMakespan:
@@ -191,37 +221,63 @@ def test_parallel_job_identical_to_serial(short, use_gpu):
     app = get_app(short)
     serial = _run_job(app, use_gpu, workers=1)
     assert serial.map_tasks >= 2, "need fan-out to exercise the pool"
-    assert serial.workers == 1
+    assert serial.workers == serial.reduce_workers == 1
+    partitions = len(serial.reduce_task_timings)
     for workers in (2, 4):
         par = _run_job(app, use_gpu, workers=workers)
         assert par.workers == min(workers, serial.map_tasks)
-        assert par.output == serial.output
+        # The reduce phase follows the job's worker setting, capped by
+        # its own task count (the partition count).
+        expected_rw = min(workers, max(partitions, 1)) if partitions \
+            else 1
+        assert par.reduce_workers == expected_rw
+        # byte-identical output: same pairs in the same insertion order
+        assert list(par.output.items()) == list(serial.output.items())
         assert par.map_tasks == serial.map_tasks
         assert par.map_output_pairs == serial.map_output_pairs
         assert par.shuffle_bytes == serial.shuffle_bytes
         # simulated per-task seconds are equal as exact floats, in order
         assert par.task_seconds() == serial.task_seconds()
         assert par.total_map_seconds == serial.total_map_seconds
+        # ... and so are the pooled reduce tasks' simulated seconds
+        assert par.reduce_task_timings == serial.reduce_task_timings
+        assert par.total_reduce_seconds == serial.total_reduce_seconds
+        assert par.reduce_critical_path(1) == serial.total_reduce_seconds
 
 
 @pytest.mark.parametrize("use_gpu", [False, True], ids=["cpu", "gpu"])
 def test_parallel_counters_match_serial(use_gpu):
     app = get_app("WC")
-    snapshots = []
+    results, snapshots = [], []
     for workers in (1, 2):
         with obs.use_recorder(obs.TraceRecorder()) as rec:
-            _run_job(app, use_gpu, workers=workers)
+            results.append(_run_job(app, use_gpu, workers=workers))
         snapshots.append(rec.metrics.snapshot())
     serial, par = snapshots
     # The parallel run additionally reports its (deterministic) pool
-    # dispatch counters; everything the serial run counts must match
-    # exactly, and the serial run must have no pool counters at all.
+    # dispatch counters and the pooled reduce phase's reduce.* tallies;
+    # everything the serial run counts must match exactly, and the
+    # serial run must have neither pool nor reduce counters at all.
     core = {k: v for k, v in par["counters"].items()
-            if not k.startswith("pool.")}
+            if not k.startswith(("pool.", "reduce."))}
     assert core == serial["counters"]
-    assert not any(k.startswith("pool.") for k in serial["counters"])
-    assert par["counters"]["pool.jobs"] == 1.0
+    assert not any(k.startswith(("pool.", "reduce."))
+                   for k in serial["counters"])
+    # One pool job for the map phase, one for the reduce phase.
+    assert par["counters"]["pool.jobs"] == 2.0
     assert par["counters"]["pool.tasks"] >= par["counters"]["pool.batches"]
+    # The reduce.* tallies are deterministic job facts, not scheduling
+    # artifacts: one task per partition, run counts from the merge.
+    par_result = results[1]
+    assert par["counters"]["reduce.tasks"] == len(
+        par_result.reduce_task_timings
+    )
+    assert par["counters"]["reduce.merge_runs"] == sum(
+        t.merge_runs for t in par_result.reduce_task_timings
+    )
+    assert par["counters"]["reduce.pairs"] == sum(
+        t.input_pairs for t in par_result.reduce_task_timings
+    )
     assert set(par["gauges"]) == set(serial["gauges"])
 
 
@@ -267,6 +323,73 @@ def test_single_split_job_stays_serial():
     assert result.workers == 1
 
 
+def test_env_reduce_workers_reaches_the_job_runner(monkeypatch):
+    monkeypatch.delenv(WORKERS_ENV, raising=False)
+    monkeypatch.delenv(REDUCE_WORKERS_ENV, raising=False)
+    app = get_app("WC")
+    text = app.generate(150, seed=7)
+    baseline = LocalJobRunner(app, split_bytes=2 * 1024).run(text)
+    monkeypatch.setenv(REDUCE_WORKERS_ENV, "2")
+    result = LocalJobRunner(app, split_bytes=2 * 1024).run(text)
+    # map phase stays serial; only the reduce phase pools
+    assert result.workers == 1
+    assert result.reduce_workers == 2
+    assert list(result.output.items()) == list(baseline.output.items())
+    assert result.reduce_task_timings == baseline.reduce_task_timings
+
+
+# -- construction-time validation -------------------------------------------
+
+
+class TestRunnerConfigValidation:
+    def test_split_bytes_must_be_positive(self):
+        app = get_app("WC")
+        with pytest.raises(ConfigError, match="split_bytes"):
+            LocalJobRunner(app, split_bytes=0)
+        with pytest.raises(ConfigError, match="split_bytes"):
+            LocalJobRunner(app, split_bytes=-4096)
+
+    def test_negative_reducers_rejected(self):
+        app = get_app("WC")
+        with pytest.raises(ConfigError, match="num_reducers"):
+            LocalJobRunner(app, num_reducers=-1)
+
+    def test_zero_reducers_means_map_only(self):
+        # 0 is a legal Hadoop setting (map-only job), not an error
+        runner = LocalJobRunner(get_app("WC"), num_reducers=0)
+        assert runner.num_reducers == 0
+
+
+# -- duplicate-key diagnosis -------------------------------------------------
+
+
+def _constant_key_reduce(key, values):
+    # module-level so the app still pickles into pooled reduce workers
+    return [("dup", sum(values))]
+
+
+def _dup_key_app():
+    """WC with its reducer swapped for one that emits a constant key
+    from every partition — the second partition to fold must trip the
+    driver's duplicate-key check."""
+    from dataclasses import replace
+
+    return replace(get_app("WC"), name="DupRed", reduce_source=None,
+                   reduce_py=_constant_key_reduce)
+
+
+@pytest.mark.parametrize("workers", [1, 2], ids=["serial", "pooled"])
+def test_duplicate_key_error_names_app_and_partition(workers):
+    app = _dup_key_app()
+    text = app.generate(120, seed=7)
+    runner = LocalJobRunner(app, split_bytes=1024, workers=workers)
+    with pytest.raises(
+        HadoopError,
+        match=r"DupRed reducer emitted duplicate key 'dup' in partition \d+",
+    ):
+        runner.run(text)
+
+
 # -- critical path vs total work --------------------------------------------
 
 
@@ -300,17 +423,45 @@ def test_parallel_trace_merges_worker_tracks():
     assert result.map_tasks >= 8
     assert_standard_invariants(rec)
 
-    worker_pids = {s.pid for s in rec.spans() if WORKER_PID_MARKER in s.pid}
-    assert 2 <= len(worker_pids) <= 3  # distinct per-worker tracks
+    worker_tracks = {s.pid for s in rec.spans() if WORKER_PID_MARKER in s.pid}
+    # distinct per-worker tracks for the map phase and the reduce phase
+    os_pids = {t.rsplit(WORKER_PID_MARKER, 1)[1] for t in worker_tracks}
+    assert 2 <= len(os_pids) <= 3
     task_spans = rec.spans("gpu-task")
     assert len(task_spans) == result.map_tasks
-    assert {s.pid for s in task_spans} == worker_pids
+    assert {s.pid for s in task_spans} <= worker_tracks
 
     trace = obs.export_chrome(rec)
     assert obs.validate_trace(trace) == []
     sort_meta = [e for e in trace["traceEvents"]
                  if e.get("name") == "process_sort_index"]
-    assert len(sort_meta) == len(worker_pids)
+    assert len(sort_meta) == len(worker_tracks)
+
+
+def test_parallel_trace_has_reduce_task_spans():
+    app = get_app("WC")
+    text = app.generate(400, seed=7)
+    with obs.use_recorder(obs.TraceRecorder()) as rec:
+        result = LocalJobRunner(app, use_gpu=False, split_bytes=1024,
+                                workers=3).run(text)
+    assert result.reduce_workers == 3
+    assert_standard_invariants(rec)
+
+    task_spans = rec.spans("reduce-task")
+    assert len(task_spans) == len(result.reduce_task_timings)
+    # every reduce task ran on a spliced @w<pid> worker track
+    pids = {s.pid for s in task_spans}
+    assert all(p.startswith("reduce" + WORKER_PID_MARKER) for p in pids)
+    assert 2 <= len(pids) <= 3
+    # span args carry the task's deterministic facts
+    by_part = {t.partition: t for t in result.reduce_task_timings}
+    for span in task_spans:
+        timing = by_part[int(span.name.split("#")[1].split()[0])]
+        assert span.args["merge_runs"] == timing.merge_runs
+        assert span.args["input_pairs"] == timing.input_pairs
+    assert rec.metrics.count("reduce.tasks") == len(task_spans)
+    trace = obs.export_chrome(rec)
+    assert obs.validate_trace(trace) == []
 
 
 def test_serial_trace_has_no_worker_tracks():
@@ -320,6 +471,7 @@ def test_serial_trace_has_no_worker_tracks():
         LocalJobRunner(app, use_gpu=True, split_bytes=2 * 1024,
                        workers=1).run(text)
     assert all(WORKER_PID_MARKER not in s.pid for s in rec.spans())
+    assert not rec.spans("reduce-task")
     trace = obs.export_chrome(rec)
     assert not any(e.get("name") == "process_sort_index"
                    for e in trace["traceEvents"])

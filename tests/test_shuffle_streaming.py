@@ -10,6 +10,7 @@ filter/pipeline wrappers around mini-C programs.
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.apps import get_app
 from repro.config import CLUSTER1
@@ -17,7 +18,10 @@ from repro.costmodel.io import IoModel
 from repro.errors import HadoopError
 from repro.hadoop.job import JobConf
 from repro.hadoop.shuffle import (
+    decorate_kv_run,
     estimate_reduce_phase,
+    merge_sorted_runs,
+    reduce_task_timing,
     sort_kv_run,
     streaming_sort_key,
 )
@@ -84,6 +88,105 @@ class TestSortKvRun:
 
     def test_empty(self):
         assert sort_kv_run([]) == []
+
+
+# -- decorated runs and the merge shuffle ------------------------------------
+
+
+class TestDecorateAndMerge:
+    def test_decorate_sorts_and_carries_the_entry(self):
+        run = [("b", 2, "b\t2\n"), (3, 1, "3\t1\n"), ("a", 9, "a\t9\n")]
+        decorated = decorate_kv_run(run)
+        assert [e[1] for e in decorated] == sort_kv_run(run)
+        assert [e[0] for e in decorated] == [
+            streaming_sort_key(e[1][0]) for e in decorated
+        ]
+
+    def test_decorate_is_stable(self):
+        run = [("k", i, f"k\t{i}\n") for i in range(8)]
+        assert [e[1] for e in decorate_kv_run(run)] == run
+
+    def test_merge_of_single_run_is_identity(self):
+        run = decorate_kv_run([("b", 1, "b\t1\n"), ("a", 2, "a\t2\n")])
+        assert merge_sorted_runs([run]) == [e[1] for e in run]
+
+    def test_merge_empty(self):
+        assert merge_sorted_runs([]) == []
+        assert merge_sorted_runs([[], []]) == []
+
+    def test_merge_never_compares_payloads(self):
+        runs = [decorate_kv_run([("same", _Opaque(), "x")]),
+                decorate_kv_run([("same", _Opaque(), "y")])]
+        merged = merge_sorted_runs(runs)
+        assert [t[2] for t in merged] == ["x", "y"]
+
+    def test_merge_ties_keep_run_order(self):
+        # equal keys interleave in run order, exactly as a stable sort
+        # of the concatenation would place them
+        runs = [decorate_kv_run([("k", 0, "a"), ("k", 1, "b")]),
+                decorate_kv_run([("k", 2, "c")])]
+        assert [t[2] for t in merge_sorted_runs(runs)] == ["a", "b", "c"]
+
+
+# Duplicate-heavy key pool mixing the numeric and text domains (numbers
+# sort before text; string digits are text) — the adversarial shape for
+# a merge that must match a full stable re-sort byte for byte.
+_KEYS = st.sampled_from(
+    ["a", "b", "10", "9", "", "k"] + [0, 1, -1, 9, 10, 2.5, 9.5, 3, 3.0]
+)
+_TRIPLES = st.builds(
+    lambda k, i: (k, i, f"{k}\t{i}\n"),
+    _KEYS, st.integers(min_value=0, max_value=99),
+)
+
+
+class TestMergeEqualsSortProperty:
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(st.lists(_TRIPLES, max_size=12), max_size=6))
+    def test_merge_of_sorted_runs_equals_sort_of_concat(self, runs):
+        # the identity the reduce phase relies on: stable-merging
+        # per-run stably-sorted runs == stably sorting the concatenation
+        concat = [t for run in runs for t in run]
+        merged = merge_sorted_runs([decorate_kv_run(run) for run in runs])
+        assert merged == sort_kv_run(concat)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(_TRIPLES, max_size=30), st.integers(1, 7))
+    def test_any_chunking_merges_identically(self, triples, nruns):
+        # however the map side happened to chunk the pairs into tasks,
+        # the reduce-side merge sees through the chunking
+        chunk = max(1, -(-len(triples) // nruns))
+        runs = [triples[i:i + chunk] for i in range(0, len(triples), chunk)]
+        merged = merge_sorted_runs([decorate_kv_run(run) for run in runs])
+        assert merged == sort_kv_run(triples)
+
+
+class TestReduceTaskTiming:
+    def test_components_and_total(self):
+        io = IoModel.for_cluster(CLUSTER1)
+        t = reduce_task_timing(partition=3, merge_runs=6, input_pairs=100,
+                               input_bytes=1400, output_pairs=40,
+                               output_bytes=600, io=io,
+                               replication=CLUSTER1.hdfs_replication)
+        assert t.partition == 3 and t.merge_runs == 6
+        assert t.merge > 0 and t.reduce > 0 and t.output_write > 0
+        assert t.total == t.merge + t.reduce + t.output_write
+
+    def test_deeper_merges_cost_more(self):
+        io = IoModel.for_cluster(CLUSTER1)
+        kw = dict(partition=0, input_pairs=100, input_bytes=1400,
+                  output_pairs=40, output_bytes=600, io=io, replication=3)
+        shallow = reduce_task_timing(merge_runs=2, **kw)
+        deep = reduce_task_timing(merge_runs=64, **kw)
+        assert deep.merge > shallow.merge
+        assert deep.reduce == shallow.reduce
+
+    def test_deterministic(self):
+        io = IoModel.for_cluster(CLUSTER1)
+        kw = dict(partition=1, merge_runs=4, input_pairs=7,
+                  input_bytes=90, output_pairs=7, output_bytes=90,
+                  io=io, replication=3)
+        assert reduce_task_timing(**kw) == reduce_task_timing(**kw)
 
 
 # -- reduce-phase model -----------------------------------------------------

@@ -75,7 +75,14 @@ def test_golden_trace_byte_identical_under_explicit_compiled_engine(tmp_path):
 def test_local_wc_trace_under_vector_differs_only_in_vector_metrics():
     """A local GPU job traced under the vector engine emits exactly the
     compiled engine's trace events; the only deltas live in the
-    ``gpu.vector.*`` metric counters."""
+    ``gpu.vector.*`` metric counters.
+
+    Pooled *reduce* tracks (present when REPRO_WORKERS sets an ambient
+    worker count) are excluded from the event comparison: which worker
+    a reduce batch lands on is pool scheduling, not engine arithmetic,
+    so those tracks legitimately differ between two runs. The reduce
+    phase's simulated content has its own byte-identity checks in
+    tests/test_parallel.py."""
     app = get_app("WC")
     text = app.generate(records_for("WC", "small"), seed=7)
 
@@ -85,9 +92,18 @@ def test_local_wc_trace_under_vector_differs_only_in_vector_metrics():
             LocalJobRunner(app, use_gpu=True, split_bytes=4 * 1024).run(text)
         return obs.export_chrome(rec)
 
+    def without_reduce_tracks(trace):
+        events = trace["traceEvents"]
+        reduce_pids = {
+            e["pid"] for e in events
+            if e.get("name") == "process_name"
+            and e["args"]["name"].startswith("reduce")
+        }
+        return [e for e in events if e["pid"] not in reduce_pids]
+
     compiled = traced("compiled")
     vector = traced("vector")
-    assert vector["traceEvents"] == compiled["traceEvents"]
+    assert without_reduce_tracks(vector) == without_reduce_tracks(compiled)
     vector_counters = dict(vector["otherData"]["metrics"]["counters"])
     extras = {k: vector_counters.pop(k)
               for k in list(vector_counters) if k.startswith("gpu.vector.")}
@@ -117,10 +133,13 @@ def test_every_app_emits_a_schema_valid_trace(short):
 
 
 def test_trace_cli_stdout_matches_file_output(tmp_path, capsys):
-    rc = cli.main(["trace", "WC", "--records", "120"])
+    # Pinned serial: two pooled runs assign reduce batches to workers
+    # by greedy dispatch, so their traces are not byte-stable run to
+    # run — and this test is about the stdout/file plumbing, which a
+    # serial trace pins exactly even under ambient REPRO_WORKERS.
+    args = ["trace", "WC", "--records", "120", "--workers", "1"]
+    rc = cli.main(args)
     assert rc == 0
     stdout = capsys.readouterr().out
-    via_file = _cli_trace_bytes(
-        tmp_path, "f.json", ["trace", "WC", "--records", "120"]
-    )
+    via_file = _cli_trace_bytes(tmp_path, "f.json", args)
     assert stdout.encode() == via_file
